@@ -1,0 +1,17 @@
+"""Ablation: vote aggregation schemes (majority / weighted / quality-aware)."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_aggregation(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.aggregation_compare,
+        save_to=results("ablation_aggregation.txt"),
+    )
+    by = {row[1]: row for row in rows}
+    assert set(by) == {"majority", "weighted", "quality-aware"}
+    # Informed aggregation should not lose to plain majority voting.
+    assert by["weighted"][2] >= by["majority"][2] - 0.1
+    assert by["quality-aware"][2] >= by["majority"][2] - 0.1

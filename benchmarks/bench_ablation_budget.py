@@ -1,0 +1,20 @@
+"""Ablation: the anytime question-budget / quality curve."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_budget_curve(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.budget_curve,
+        save_to=results("ablation_budget.txt"),
+    )
+    # Questions asked never exceed the budget.
+    for _, budget, questions, _ in rows:
+        if budget != "unlimited":
+            assert questions <= budget
+    # Quality at full budget beats the zero-budget machine-only guess.
+    zero = next(row for row in rows if row[1] == 0)
+    full = next(row for row in rows if row[1] == "unlimited")
+    assert full[3] >= zero[3]

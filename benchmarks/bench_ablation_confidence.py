@@ -1,0 +1,17 @@
+"""Ablation: the Power+ confidence threshold (paper default 0.8)."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_confidence(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.confidence_sweep,
+        save_to=results("ablation_confidence.txt"),
+    )
+    thresholds = [row[1] for row in rows]
+    blues = [row[4] for row in rows]
+    assert thresholds == sorted(thresholds)
+    # Higher thresholds defer more vertices to the histogram step.
+    assert blues[-1] >= blues[0]

@@ -1,0 +1,16 @@
+"""Ablation: histogram binning for the §6 BLUE-pair coloring."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_histograms(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.histogram_sweep,
+        save_to=results("ablation_histograms.txt"),
+    )
+    assert {row[1] for row in rows} == {"equi-depth", "equi-width"}
+    # Every configuration stays usable (the histogram is a fallback, not
+    # the primary signal).
+    assert all(row[3] > 0.4 for row in rows)

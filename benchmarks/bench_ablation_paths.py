@@ -1,0 +1,17 @@
+"""Ablation: matching-based Dilworth decomposition vs greedy peeling."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_paths(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.path_cover_compare,
+        save_to=results("ablation_paths.txt"),
+    )
+    by = {row[1]: row for row in rows}
+    # Both decompositions color the graph correctly...
+    assert abs(by["matching"][2] - by["greedy"][2]) < 0.15
+    # ...but the minimal decomposition should not need more questions.
+    assert by["matching"][3] <= by["greedy"][3] * 1.2

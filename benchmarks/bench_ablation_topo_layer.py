@@ -1,0 +1,18 @@
+"""Ablation: which topological level Power asks first (paper: the middle)."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_topo_layer(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.topo_layer_sweep,
+        save_to=results("ablation_topo_layer.txt"),
+    )
+    by = {row[1]: row for row in rows}
+    middle_questions = by[0.5][3]
+    extreme_questions = min(by[0.0][3], by[1.0][3])
+    # Asking the middle level should not cost more than asking an extreme
+    # (boundary vertices concentrate in the middle, §5.3.2).
+    assert middle_questions <= extreme_questions * 1.35

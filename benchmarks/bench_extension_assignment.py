@@ -1,0 +1,17 @@
+"""Extension bench: quality-aware question-to-worker assignment."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_assignment(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.assignment_compare,
+        save_to=results("extension_assignment.txt"),
+    )
+    by = {row[1]: row for row in rows}
+    assert set(by) == {"random", "round-robin", "best-worker"}
+    # Routing questions to the best (estimated) workers pays off.
+    assert by["best-worker"][2] >= by["random"][2] - 0.02
+    assert by["best-worker"][2] >= by["round-robin"][2] - 0.02

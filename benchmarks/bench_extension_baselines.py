@@ -1,0 +1,22 @@
+"""Extension bench: the seven-way comparison (adds CrowdER, node-priority)."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_seven_way(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.extended_baselines,
+        save_to=results("extension_baselines.txt"),
+    )
+    by = {row[1]: row for row in rows}
+    assert set(by) == {
+        "power", "power+", "trans", "node-priority", "gcer", "acd", "crowder",
+    }
+    # CrowdER anchors the cost ceiling: it asks every candidate pair.
+    assert by["crowder"][3] == max(row[3] for row in rows)
+    # Power stays the cheapest method.
+    assert by["power"][3] == min(row[3] for row in rows)
+    # Node-priority exploits transitivity: cheaper than CrowdER.
+    assert by["node-priority"][3] < by["crowder"][3]

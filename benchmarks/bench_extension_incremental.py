@@ -1,0 +1,20 @@
+"""Extension bench: streaming (incremental) resolution vs one-shot."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_incremental(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.incremental_compare,
+        save_to=results("extension_incremental.txt"),
+    )
+    one_shot = next(row for row in rows if row[1] == "one-shot")
+    streams = [row for row in rows if row[1] != "one-shot"]
+    # Streaming costs more questions but keeps comparable quality.
+    for row in streams:
+        assert row[2] >= one_shot[2] * 0.8
+        assert row[4] >= one_shot[4] - 0.1
+    # Larger batches approach the one-shot cost.
+    assert streams[-1][2] <= streams[0][2] * 1.2

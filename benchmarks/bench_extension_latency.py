@@ -1,0 +1,20 @@
+"""Extension bench: modeled wall-clock latency per method."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_latency(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.latency_compare,
+        save_to=results("extension_latency.txt"),
+    )
+    by = {row[1]: row for row in rows}
+    # Power's few parallel rounds give the lowest modeled wall clock among
+    # the graph selectors; serial SinglePath is by far the slowest of them.
+    assert by["power"][4] <= by["multi-path"][4] * 1.5
+    assert by["power"][4] * 3 < by["single-path"][4]
+    # The ask-everything baselines pay for their question volume too.
+    assert by["power"][4] < by["trans"][4]
+    assert by["power"][4] < by["crowder"][4]

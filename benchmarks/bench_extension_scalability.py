@@ -1,0 +1,18 @@
+"""Extension bench: Power's question count grows sub-linearly in #pairs."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_scalability(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.scalability_sweep,
+        save_to=results("extension_scalability.txt"),
+    )
+    assert len(rows) >= 3
+    ratios = [row[3] for row in rows]
+    # The questions-per-pair ratio falls as the graph grows.
+    assert ratios[-1] < ratios[0]
+    # Quality holds at every size.
+    assert all(row[4] > 0.8 for row in rows)

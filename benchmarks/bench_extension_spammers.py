@@ -1,0 +1,23 @@
+"""Extension bench: robustness to spammer workers per aggregation scheme."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_spammers(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.spammer_sweep,
+        save_to=results("extension_spammers.txt"),
+    )
+    by = {(row[1], row[2]): row for row in rows}
+    fractions = sorted({row[1] for row in rows})
+    moderate = fractions[1]
+    heavy = fractions[-1]
+    # At moderate spam, estimated-accuracy aggregation clearly wins: the
+    # spammers' ~0.5 estimated accuracy zeroes their weight.
+    assert by[(moderate, "quality-aware")][3] >= by[(moderate, "majority")][3] - 0.01
+    # At heavy spam every aggregator degrades; they stay in the same band.
+    assert by[(heavy, "quality-aware")][3] >= by[(heavy, "majority")][3] - 0.12
+    # Without spammers the two are comparable.
+    assert abs(by[(0.0, "quality-aware")][3] - by[(0.0, "majority")][3]) < 0.15

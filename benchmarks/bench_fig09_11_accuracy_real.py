@@ -1,0 +1,53 @@
+"""Figs 9-11: quality / #questions / #iterations vs worker accuracy,
+real-crowd regime (difficulty-aware workers — see DESIGN.md)."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig09_11_accuracy_real(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.accuracy_sweep,
+        mode="real",
+        save_to=results("fig09_11_accuracy_real.txt"),
+    )
+    by = {(r.dataset, r.band, r.method): r for r in rows}
+    datasets = {r.dataset for r in rows}
+    for dataset in datasets:
+        for band in ("70", "80", "90"):
+            power = by[(dataset, band, "power")]
+            acd = by[(dataset, band, "acd")]
+            trans = by[(dataset, band, "trans")]
+            gcer = by[(dataset, band, "gcer")]
+            # Fig 10: Power asks several times fewer questions than every
+            # baseline (GCER's budget is tied to ACD but transitivity lets
+            # it stop early, so the margin there is smaller).
+            assert power.questions * 3 < acd.questions
+            assert power.questions < gcer.questions
+            assert power.questions < trans.questions
+            # Fig 11: Power needs no more crowd iterations than any baseline.
+            assert power.iterations <= min(acd.iterations, trans.iterations)
+            assert power.iterations <= gcer.iterations
+        # Fig 9 (real): with difficulty-aware workers every method does well
+        # on the easy restaurant dataset across all bands.
+        if dataset == "restaurant":
+            for band in ("70", "80", "90"):
+                assert by[(dataset, band, "power+")].f_measure > 0.85
+
+
+def test_fig09_power_plus_quality_shape(benchmark, results):
+    """Power+ matches or beats the baselines at 90% accuracy."""
+    rows = run_once(
+        benchmark,
+        figures.accuracy_sweep,
+        mode="real",
+        datasets=("restaurant",),
+        bands=("90",),
+        save_to=results("fig09_quality_shape.txt"),
+    )
+    by = {r.method: r for r in rows}
+    competitors = [by["trans"].f_measure, by["gcer"].f_measure]
+    assert by["power+"].f_measure >= np.mean(competitors) - 0.05

@@ -1,0 +1,40 @@
+"""Figs 12-14: quality / #questions / #iterations vs worker accuracy,
+simulation regime (§7.2.2's uniform-error workers)."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig12_14_accuracy_simulation(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.accuracy_sweep,
+        mode="simulation",
+        save_to=results("fig12_14_accuracy_simulation.txt"),
+    )
+    by = {(r.dataset, r.band, r.method): r for r in rows}
+    datasets = {r.dataset for r in rows}
+    for dataset in datasets:
+        # Fig 12: Power+ tolerates low-quality workers at least as well as
+        # Power (small tolerance: on datasets where Power already does well
+        # the two are statistically tied).
+        assert (
+            by[(dataset, "70", "power+")].f_measure
+            >= by[(dataset, "70", "power")].f_measure - 0.02
+        )
+        # Quality improves (or holds) as workers get better, per method.
+        for method in ("power+", "acd"):
+            assert (
+                by[(dataset, "90", method)].f_measure
+                >= by[(dataset, "70", method)].f_measure - 0.05
+            )
+        # Fig 13: the cost gap is insensitive to accuracy.
+        for band in ("70", "80", "90"):
+            power = by[(dataset, band, "power")]
+            acd = by[(dataset, band, "acd")]
+            assert power.questions * 3 < acd.questions
+    # Power+ vs the error-blind baselines at 70%: the paper's headline.
+    for dataset in datasets:
+        power_plus = by[(dataset, "70", "power+")].f_measure
+        gcer = by[(dataset, "70", "gcer")].f_measure
+        assert power_plus >= gcer - 0.05

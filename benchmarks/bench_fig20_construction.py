@@ -1,0 +1,32 @@
+"""Fig 20: graph-construction efficiency (BruteForce vs QuickSort vs Index)."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig20_construction_restaurant(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.construction_benchmark,
+        dataset="restaurant",
+        save_to=results("fig20_construction_restaurant.txt"),
+    )
+    largest = rows[-1]
+    _, size, _, brute, quicksort, index = largest
+    # The paper's ordering at scale: Index fastest, BruteForce slowest.
+    assert index < brute
+    assert index < quicksort
+    # Construction time grows with the number of pairs.
+    assert rows[-1][3] > rows[0][3]
+
+
+def test_fig20_construction_cora(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.construction_benchmark,
+        dataset="cora",
+        sizes=(1000, 3000),
+        save_to=results("fig20_construction_cora.txt"),
+    )
+    _, _, _, brute, _, index = rows[-1]
+    assert index < brute

@@ -1,0 +1,27 @@
+"""Figs 21-22: grouping — number of groups and grouping time."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig21_22_grouping(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.grouping_benchmark,
+        save_to=results("fig21_22_grouping.txt"),
+    )
+    by = {(row[0], row[1]): row for row in rows}
+    for dataset in {row[0] for row in rows}:
+        eps_rows = sorted(
+            (row for row in rows if row[0] == dataset), key=lambda r: r[1]
+        )
+        split_counts = [row[2] for row in eps_rows]
+        # Fig 21: larger epsilon -> fewer groups.
+        assert split_counts == sorted(split_counts, reverse=True)
+        for row in eps_rows:
+            _, eps, split_groups, split_time, greedy_groups, greedy_time = row
+            if greedy_groups != "n/a":
+                # The paper: Greedy yields somewhat fewer groups but is far
+                # slower than Split.
+                assert greedy_groups <= split_groups * 1.5
+                assert greedy_time > split_time

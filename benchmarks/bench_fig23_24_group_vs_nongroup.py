@@ -1,0 +1,20 @@
+"""Figs 23-24: grouping vs non-grouping — quality and #questions."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig23_24_group_vs_nongroup(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.group_vs_nongroup,
+        save_to=results("fig23_24_group_vs_nongroup.txt"),
+    )
+    nongroup = next(row for row in rows if row[1] == "non-group")
+    grouped = [row for row in rows if row[1] != "non-group" and row[3] != "n/a"]
+    assert grouped
+    # Fig 24: grouping significantly reduces the number of questions.
+    assert min(row[4] for row in grouped) < nongroup[4]
+    # Fig 23: the quality cost of grouping is small.
+    for row in grouped:
+        assert row[3] >= nongroup[3] - 0.15

@@ -1,0 +1,27 @@
+"""Figs 25-26: serial selection — Random vs SinglePath on raw graphs."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig25_26_serial_selection(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.serial_selection,
+        save_to=results("fig25_26_serial_selection.txt"),
+    )
+    sizes = sorted({row[1] for row in rows})
+    for size in sizes:
+        random_row = next(r for r in rows if r[1] == size and r[2] == "random")
+        single_row = next(r for r in rows if r[1] == size and r[2] == "single-path")
+        # Fig 26: SinglePath asks no more questions than Random (its
+        # binary search targets the boundary vertices).
+        assert single_row[4] <= random_row[4] * 1.15
+        # Fig 25: both achieve similar quality.
+        assert abs(single_row[3] - random_row[3]) < 0.2
+    # Questions grow with graph size for both selectors.
+    first, last = sizes[0], sizes[-1]
+    for name in ("random", "single-path"):
+        q_first = next(r[4] for r in rows if r[1] == first and r[2] == name)
+        q_last = next(r[4] for r in rows if r[1] == last and r[2] == name)
+        assert q_last >= q_first

@@ -1,0 +1,27 @@
+"""Figs 27-30: parallel selection — SinglePath vs Multi-Path vs Power."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig27_30_parallel_selection(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.parallel_selection,
+        save_to=results("fig27_30_parallel_selection.txt"),
+    )
+    for dataset in {row[0] for row in rows}:
+        by = {row[1]: row for row in rows if row[0] == dataset}
+        single, multi, power = by["single-path"], by["multi-path"], by["power"]
+        # Fig 29: the parallel algorithms need far fewer iterations.
+        assert power[4] < single[4]
+        assert multi[4] < single[4]
+        # Fig 28: parallelism costs a few extra questions at most.
+        assert power[3] <= multi[3] * 1.3 + 5
+        # Fig 27: all three reach similar quality.
+        scores = [single[2], multi[2], power[2]]
+        assert max(scores) - min(scores) < 0.2
+        # Fig 30: every assignment step is fast (well under a second per
+        # iteration on these graph sizes).
+        for row in (single, multi, power):
+            assert row[5] < 60.0

@@ -1,0 +1,24 @@
+"""Figs 31-33: error tolerance — Power vs Power+ over epsilon."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig31_33_error_tolerant(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.error_tolerant_sweep,
+        save_to=results("fig31_33_error_tolerant.txt"),
+    )
+    for dataset in {row[0] for row in rows}:
+        power = [r for r in rows if r[0] == dataset and r[2] == "power"]
+        plus = [r for r in rows if r[0] == dataset and r[2] == "power+"]
+        # Fig 31: Power+ improves quality on average across epsilon.
+        assert np.mean([r[3] for r in plus]) >= np.mean([r[3] for r in power])
+        # Fig 32: Power+ asks somewhat more questions (no inference from
+        # BLUE vertices), but stays in the same order of magnitude... the
+        # gap grows with worker noise, so allow a wide factor.
+        for p_row, plus_row in zip(power, plus):
+            assert plus_row[4] >= p_row[4] * 0.8

@@ -1,0 +1,19 @@
+"""Fig 34: effect of the number of attributes (Cora)."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig34_num_attributes(benchmark, results):
+    rows = run_once(
+        benchmark,
+        figures.attribute_sweep,
+        save_to=results("fig34_num_attributes.txt"),
+    )
+    counts = [row[0] for row in rows]
+    questions = [row[2] for row in rows]
+    assert counts == sorted(counts)
+    # Fig 34: more attributes -> sparser partial order -> more questions.
+    assert questions[-1] > questions[0]
+    # Quality stays reasonable throughout.
+    assert all(row[1] > 0.5 for row in rows)

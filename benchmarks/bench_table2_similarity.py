@@ -1,0 +1,11 @@
+"""Table 2: the paper example's similarity vectors."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_table2_similarity(benchmark, results):
+    rows = run_once(benchmark, figures.table2_similarity,
+                    save_to=results("table2_similarity.txt"))
+    assert len(rows) == 18  # the paper's eighteen similar pairs
+    assert all(len(row) == 5 for row in rows)

@@ -1,0 +1,17 @@
+"""Table 3: dataset statistics at benchmark scale."""
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_table3_datasets(benchmark, results):
+    rows = run_once(benchmark, figures.table3_datasets,
+                    save_to=results("table3_datasets.txt"))
+    stats = {row[0]: row for row in rows}
+    # Published shapes for the two full-size datasets.
+    assert stats["restaurant"][1] == 858 and stats["restaurant"][2] == 752
+    assert stats["cora"][1] == 997 and stats["cora"][2] == 191
+    # ACMPub runs at reduced scale but keeps the records/entities ratio.
+    ratio = stats["acmpub"][1] / stats["acmpub"][2]
+    assert 10 <= ratio <= 15  # full-size ratio is 66879/5347 = 12.5
+    assert all(row[5] == 5 for row in rows)  # five workers per pair

@@ -1,0 +1,42 @@
+"""Fixtures for the benchmark suite.
+
+Each bench wraps one figure/table harness from
+:mod:`repro.experiments.figures`, runs it exactly once under
+pytest-benchmark (``rounds=1``), asserts the paper's qualitative shape, and
+persists the printed table under ``benchmarks/results/`` for
+EXPERIMENTS.md.
+
+Set ``POWER_BENCH_FAST=1`` to shrink every sweep for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def results(results_dir):
+    """Path factory: results('fig20.txt') -> fresh file in results/."""
+
+    def factory(name: str) -> Path:
+        path = results_dir / name
+        if path.exists():
+            path.unlink()
+        return path
+
+    return factory
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Deduplicating a dirty bibliography (the paper's Cora scenario).
+
+Bibliographic records are the hard case for crowdsourced ER: clusters are
+large (~5 duplicate citations per paper), strings are dirty (author
+initials, venue abbreviations, missing fields), and workers make mistakes.
+This example shows why the error-tolerant Power+ matters: it runs both
+Power and Power+ against a mediocre crowd (70-80 % accuracy) and reports
+how much quality the §6 error-tolerance machinery recovers.
+
+Run:
+    python examples/bibliography_dedup.py
+"""
+
+from repro import PowerConfig, PowerResolver, cora
+from repro.crowd import SimulatedCrowd, WorkerPool
+from repro.data.ground_truth import entity_clusters, pair_truth
+from repro.similarity import similar_pairs
+
+
+def main() -> None:
+    table = cora(seed=11)
+    gold_clusters = entity_clusters(table)
+    sizes = sorted((len(m) for m in gold_clusters.values()), reverse=True)
+    print(f"dataset: {table.name} — {len(table)} records, "
+          f"{len(gold_clusters)} papers, largest cluster {sizes[0]} citations")
+
+    pairs = similar_pairs(table, 0.2)
+    truth = pair_truth(table, pairs)
+    crowd = SimulatedCrowd(truth, WorkerPool(accuracy_range="70", seed=4))
+
+    for error_tolerant in (False, True):
+        config = PowerConfig(
+            error_tolerant=error_tolerant,
+            epsilon=0.1,
+            selector="power",
+            seed=4,
+        )
+        result = PowerResolver(config).resolve(table, session=crowd.session())
+        label = "Power+" if error_tolerant else "Power "
+        blue = len(result.selection.state.blue_vertices()) if error_tolerant else 0
+        print(
+            f"{label}: {result.questions:4d} questions, "
+            f"{result.iterations:2d} iterations, "
+            f"{blue:3d} low-confidence vertices deferred, "
+            f"F1={result.quality.f_measure:.3f} "
+            f"(P={result.quality.precision:.3f} R={result.quality.recall:.3f})"
+        )
+
+    print(
+        "\nPower+ postpones low-confidence answers (BLUE vertices) instead of\n"
+        "letting them poison the partial-order inference, then settles them\n"
+        "with the attribute-weighted histogram of §6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Bring your own data: resolve a CSV with a pluggable crowd.
+
+Shows the integration points a downstream user needs:
+
+* loading records from CSV (``entity_id`` column optional),
+* choosing per-attribute similarity functions,
+* swapping the crowd: here a :class:`~repro.crowd.platform.PerfectCrowd`
+  oracle stands in for a real platform adapter — any object with an
+  ``answer(pair) -> VoteOutcome`` method works, so wiring an actual AMT
+  client means implementing one method.
+
+Run:
+    python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import PowerConfig, PowerResolver, Table, load_csv, save_csv
+from repro.crowd import PerfectCrowd
+from repro.data.ground_truth import pair_truth
+
+PRODUCTS = [
+    # (name, brand, price) — three entities, seven records.
+    ("thinkpad x1 carbon gen 9", "lenovo", "1399", 0),
+    ("lenovo thinkpad x1 carbon (9th gen)", "lenovo", "1399.00", 0),
+    ("x1 carbon 9th generation ultrabook", "lenovo inc", "1,399", 0),
+    ("galaxy s21 ultra 5g", "samsung", "1199", 1),
+    ("samsung galaxy s21 ultra", "samsung electronics", "1199.99", 1),
+    ("airpods pro 2nd gen", "apple", "249", 2),
+    ("apple airpods pro (2nd generation)", "apple inc.", "249.00", 2),
+]
+
+
+def main() -> None:
+    table = Table.from_rows(
+        name="products",
+        attributes=("title", "brand", "price"),
+        rows=[row[:3] for row in PRODUCTS],
+        entity_ids=[row[3] for row in PRODUCTS],
+    )
+
+    # Round-trip through CSV, as a user with an on-disk dataset would start.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "products.csv"
+        save_csv(table, path)
+        table = load_csv(path)
+    print(f"loaded {len(table)} records with attributes {table.attributes}")
+
+    config = PowerConfig(
+        # Long titles suit q-gram similarity; short brand strings suit edit
+        # similarity; prices tokenize poorly, so edit similarity again.
+        similarity=("bigram", "edit", "edit"),
+        pruning_threshold=0.2,
+        epsilon=0.05,
+        seed=0,
+    )
+    resolver = PowerResolver(config)
+    pairs = resolver.candidate_pairs(table)
+
+    # Swap in your own crowd here; the oracle answers from ground truth.
+    crowd = PerfectCrowd(pair_truth(table, pairs))
+    result = resolver.resolve(table, session=crowd.session())
+
+    print(f"asked {result.questions} of {len(pairs)} candidate pairs")
+    for cluster in result.clusters:
+        if len(cluster) > 1:
+            print("same product:")
+            for record_id in cluster:
+                print(f"   {table[record_id].values[0]!r}")
+    print(f"quality: {result.quality}")
+
+
+if __name__ == "__main__":
+    main()

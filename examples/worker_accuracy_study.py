@@ -1,0 +1,43 @@
+"""A miniature of the paper's simulation experiment (Figs. 12-14).
+
+Sweeps the worker-accuracy band on the Restaurant dataset and prints
+quality, cost, and latency for all five algorithms — the library's
+experiment harness doing in a few lines what §7.2.2 reports.
+
+Run:
+    python examples/worker_accuracy_study.py        (~2-3 minutes)
+"""
+
+from repro.experiments import compare_methods, prepare
+from repro.experiments.reporting import emit
+
+
+def main() -> None:
+    workload = prepare("restaurant")
+    print(
+        f"dataset: {workload.name} — {len(workload.table)} records, "
+        f"{len(workload.pairs)} candidate pairs\n"
+    )
+    rows = []
+    for band in ("70", "80", "90"):
+        for row in compare_methods(workload, band, seed=0, mode="simulation"):
+            rows.append([
+                band, row.method, row.f_measure, row.questions,
+                row.iterations, f"${row.cost_cents / 100:.2f}",
+            ])
+    emit(
+        "Worker-accuracy sweep (Restaurant, simulation workers)",
+        ["band", "method", "F1", "#questions", "#iterations", "cost"],
+        rows,
+    )
+    print(
+        "Things to notice (the paper's Figs. 12-14):\n"
+        " * power/power+ ask ~30x fewer questions at every band;\n"
+        " * at 70-80% accuracy, power+ keeps quality high while the\n"
+        "   error-blind baselines (trans, gcer) collapse;\n"
+        " * power's iteration count stays ~5 while baselines need 10-40."
+    )
+
+
+if __name__ == "__main__":
+    main()

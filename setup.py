@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without
+the `wheel` package cannot use PEP 660 editable installs)."""
+
+from setuptools import setup
+
+setup()

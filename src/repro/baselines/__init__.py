@@ -1,0 +1,30 @@
+"""Baseline crowd-ER algorithms: Trans, ACD, GCER (+ union-find substrate)."""
+
+from .acd import ACDResolver
+from .base import BaselineResolver, independent_batches
+from .crowder import CrowdERResolver
+from .gcer import GCERResolver
+from .node_priority import NodePriorityResolver
+from .trans import TransResolver
+from .union_find import ConstrainedClusters, UnionFind
+
+BASELINES = {
+    "trans": TransResolver,
+    "acd": ACDResolver,
+    "gcer": GCERResolver,
+    "crowder": CrowdERResolver,
+    "node-priority": NodePriorityResolver,
+}
+
+__all__ = [
+    "ACDResolver",
+    "BASELINES",
+    "BaselineResolver",
+    "CrowdERResolver",
+    "NodePriorityResolver",
+    "ConstrainedClusters",
+    "GCERResolver",
+    "TransResolver",
+    "UnionFind",
+    "independent_batches",
+]

@@ -1,0 +1,80 @@
+"""Node-priority transitivity ER (Vesdapunt, Bellare & Dalvi, PVLDB 2014).
+
+The other transitivity-based algorithm the Power paper compares against
+conceptually (§2.2.1, ref. [21]).  Where Trans orders *edges* (pairs) by
+similarity, the node-priority strategy orders *records*: process records by
+how many candidate partners they have (most-connected first), and resolve
+each record against the existing clusters — ask one representative pair per
+cluster (most similar partner first) until a Yes places the record, or the
+candidates run out and the record founds its own cluster.
+
+Properties that matter for the comparison:
+
+* transitivity is exploited *per record*: at most one question per
+  (record, cluster) pair, so large clusters cost O(1) questions per member
+  instead of O(cluster);
+* like Trans, a single wrong answer misplaces a record and there is no
+  error tolerance;
+* question count sits between Trans and the ask-everything methods on data
+  with small clusters, and beats Trans on large-cluster data — the
+  behaviour reported in the original paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..crowd.platform import CrowdSession
+from ..data.ground_truth import Pair
+from .base import BaselineResolver
+from .union_find import UnionFind
+
+
+class NodePriorityResolver(BaselineResolver):
+    """Record-ordered transitivity baseline."""
+
+    name = "node-priority"
+
+    def _resolve(
+        self, pairs: list[Pair], scores: np.ndarray, session: CrowdSession
+    ) -> dict[Pair, bool]:
+        if not pairs:
+            return {}
+        score_of = {pair: float(score) for pair, score in zip(pairs, scores)}
+        neighbors: dict[int, list[int]] = defaultdict(list)
+        for i, j in pairs:
+            neighbors[i].append(j)
+            neighbors[j].append(i)
+        num_records = 1 + max(max(pair) for pair in pairs)
+        clusters = UnionFind(num_records)
+        placed: set[int] = set()
+        # Most-connected records first: resolving hubs early maximises the
+        # transitive savings for everything that follows.
+        order = sorted(neighbors, key=lambda r: (-len(neighbors[r]), r))
+        for record in order:
+            placed.add(record)
+            # Candidate clusters among already-placed neighbours, tried in
+            # descending best-pair similarity.
+            best_pair_to_cluster: dict[int, Pair] = {}
+            for other in neighbors[record]:
+                if other not in placed or other == record:
+                    continue
+                pair = (record, other) if record < other else (other, record)
+                root = clusters.find(other)
+                incumbent = best_pair_to_cluster.get(root)
+                if incumbent is None or score_of[pair] > score_of[incumbent]:
+                    best_pair_to_cluster[root] = pair
+            candidates = sorted(
+                best_pair_to_cluster.values(),
+                key=lambda pair: -score_of[pair],
+            )
+            for pair in candidates:
+                if clusters.connected(*pair):
+                    break  # an earlier Yes merged us into this cluster
+                outcome = session.ask(pair)
+                if outcome.answer:
+                    clusters.union(*pair)
+                    break
+        return {pair: clusters.connected(*pair) for pair in pairs}

@@ -1,0 +1,106 @@
+"""Union-find with negative constraints — the substrate of Trans/ACD/GCER.
+
+Transitivity-based crowd ER maintains two kinds of knowledge: *positive*
+("these records are the same entity" — an equivalence, stored as disjoint
+sets) and *negative* ("these clusters are different entities" — constraints
+between set representatives, merged when sets merge).  A pair is *inferable*
+when either relation already connects its records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..data.ground_truth import Pair
+from ..exceptions import DataError
+
+
+class UnionFind:
+    """Disjoint sets over ``range(n)`` with union by size + path compression."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise DataError(f"size must be >= 0, got {size}")
+        self._parent = list(range(size))
+        self._size = [1] * size
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of *a* and *b*; return the surviving root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def clusters(self) -> dict[int, list[int]]:
+        """Map each root to the sorted members of its set."""
+        members: dict[int, list[int]] = defaultdict(list)
+        for item in range(len(self._parent)):
+            members[self.find(item)].append(item)
+        return dict(members)
+
+
+class ConstrainedClusters:
+    """Union-find plus "different entity" constraints between clusters.
+
+    This is the inference state of transitivity-based crowd ER: a Yes answer
+    merges two clusters (carrying both sides' negative constraints along);
+    a No answer adds a constraint between the two current clusters.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.sets = UnionFind(size)
+        self._enemies: dict[int, set[int]] = defaultdict(set)
+
+    def same(self, a: int, b: int) -> bool:
+        """True when the records are known to refer to the same entity."""
+        return self.sets.connected(a, b)
+
+    def different(self, a: int, b: int) -> bool:
+        """True when the records are known to refer to different entities."""
+        return self.sets.find(b) in self._enemies[self.sets.find(a)]
+
+    def inferable(self, pair: Pair) -> bool:
+        return self.same(*pair) or self.different(*pair)
+
+    def record_yes(self, a: int, b: int) -> None:
+        """Apply a positive crowd answer (merge, carrying constraints)."""
+        root_a, root_b = self.sets.find(a), self.sets.find(b)
+        if root_a == root_b:
+            return
+        survivor = self.sets.union(root_a, root_b)
+        absorbed = root_b if survivor == root_a else root_a
+        for enemy in self._enemies.pop(absorbed, set()):
+            self._enemies[enemy].discard(absorbed)
+            if enemy != survivor:
+                self._enemies[enemy].add(survivor)
+                self._enemies[survivor].add(enemy)
+
+    def record_no(self, a: int, b: int) -> None:
+        """Apply a negative crowd answer (constrain the two clusters)."""
+        root_a, root_b = self.sets.find(a), self.sets.find(b)
+        if root_a == root_b:
+            return  # Contradicts earlier positives; positives win here.
+        self._enemies[root_a].add(root_b)
+        self._enemies[root_b].add(root_a)
+
+    def label(self, pair: Pair) -> bool:
+        """Final decision for a pair: match iff in the same cluster."""
+        return self.same(*pair)

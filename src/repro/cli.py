@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write one of the benchmark datasets to CSV.
+* ``stats`` — dataset and partial-order statistics for a CSV.
+* ``resolve`` — run the Power/Power+ pipeline on a CSV (simulated crowd
+  from its ``entity_id`` column) and write the resolved clusters.
+* ``experiment`` — run one of the paper's figure/table harnesses by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from .core import PowerConfig, PowerResolver
+from .data import load_csv, load_dataset, num_entities, save_csv
+from .exceptions import PowerError
+from .experiments import ablations, figures
+from .graph import PairGraph, order_statistics
+from .similarity import SimilarityConfig, similar_pairs, similarity_matrix
+
+EXPERIMENTS = {
+    "table2": figures.table2_similarity,
+    "table3": figures.table3_datasets,
+    "fig09-11": lambda **kw: figures.accuracy_sweep(mode="real", **kw),
+    "fig12-14": lambda **kw: figures.accuracy_sweep(mode="simulation", **kw),
+    "fig15-17": figures.similarity_function_sweep,
+    "fig20": figures.construction_benchmark,
+    "fig21-22": figures.grouping_benchmark,
+    "fig23-24": figures.group_vs_nongroup,
+    "fig25-26": figures.serial_selection,
+    "fig27-30": figures.parallel_selection,
+    "fig31-33": figures.error_tolerant_sweep,
+    "fig34": figures.attribute_sweep,
+    "ablation-confidence": ablations.confidence_sweep,
+    "ablation-histograms": ablations.histogram_sweep,
+    "ablation-paths": ablations.path_cover_compare,
+    "ablation-topo": ablations.topo_layer_sweep,
+    "ablation-aggregation": ablations.aggregation_compare,
+    "ablation-budget": ablations.budget_curve,
+    "ablation-index": ablations.index_dimensionality,
+    "extension-incremental": ablations.incremental_compare,
+    "extension-spammers": ablations.spammer_sweep,
+    "extension-baselines": ablations.extended_baselines,
+    "extension-scalability": ablations.scalability_sweep,
+    "extension-latency": ablations.latency_compare,
+    "extension-assignment": ablations.assignment_compare,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power/Power+ crowdsourced entity resolution (SIGMOD 2016 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a benchmark dataset to CSV")
+    generate.add_argument("dataset", choices=["restaurant", "cora", "acmpub"])
+    generate.add_argument("output", type=Path)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--scale", type=float, default=None,
+                          help="acmpub only: fraction of the published size")
+
+    stats = commands.add_parser("stats", help="dataset and partial-order statistics")
+    stats.add_argument("input", type=Path)
+    stats.add_argument("--threshold", type=float, default=0.2,
+                       help="record-level pruning threshold")
+    stats.add_argument("--similarity", default="bigram",
+                       choices=["bigram", "jaccard", "edit"])
+
+    resolve = commands.add_parser("resolve", help="resolve a CSV with Power/Power+")
+    resolve.add_argument("input", type=Path)
+    resolve.add_argument("--output", type=Path, default=None,
+                         help="write records + resolved cluster ids here")
+    resolve.add_argument("--selector", default="power",
+                         choices=["power", "single-path", "multi-path", "random"])
+    resolve.add_argument("--similarity", default="bigram",
+                         choices=["bigram", "jaccard", "edit"])
+    resolve.add_argument("--threshold", type=float, default=0.2)
+    resolve.add_argument("--epsilon", type=float, default=0.1,
+                         help="grouping threshold; 0 disables grouping")
+    resolve.add_argument("--band", default="90", choices=["70", "80", "90"],
+                         help="simulated worker accuracy band")
+    resolve.add_argument("--budget", type=int, default=None,
+                         help="maximum crowd questions")
+    resolve.add_argument("--no-error-tolerant", action="store_true",
+                         help="run plain Power instead of Power+")
+    resolve.add_argument("--seed", type=int, default=0)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's figure/table harnesses"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--save-to", type=Path, default=None)
+    return parser
+
+
+def _command_generate(args) -> int:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.scale is not None:
+        if args.dataset != "acmpub":
+            print("--scale only applies to acmpub", file=sys.stderr)
+            return 2
+        kwargs["scale"] = args.scale
+    table = load_dataset(args.dataset, **kwargs)
+    save_csv(table, args.output)
+    print(
+        f"wrote {len(table)} records / {num_entities(table)} entities "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _command_stats(args) -> int:
+    table = load_csv(args.input)
+    print(f"dataset   : {table.name}")
+    print(f"records   : {len(table)}")
+    print(f"attributes: {table.num_attributes} {table.attributes}")
+    if table.has_ground_truth():
+        print(f"entities  : {num_entities(table)}")
+    pairs = similar_pairs(table, args.threshold)
+    print(f"candidate pairs (threshold {args.threshold}): {len(pairs)}")
+    if pairs:
+        config = SimilarityConfig.uniform(table.num_attributes, function=args.similarity)
+        vectors = similarity_matrix(table, pairs, config)
+        graph = PairGraph(pairs, vectors)
+        compute_width = len(pairs) <= 5000
+        print(f"partial order: {order_statistics(graph, compute_width=compute_width)}")
+    return 0
+
+
+def _command_resolve(args) -> int:
+    table = load_csv(args.input)
+    if not table.has_ground_truth():
+        print(
+            "resolve needs an entity_id column to simulate the crowd; "
+            "for a real crowd, use the library API with your own session",
+            file=sys.stderr,
+        )
+        return 2
+    config = PowerConfig(
+        similarity=args.similarity,
+        pruning_threshold=args.threshold,
+        epsilon=args.epsilon if args.epsilon > 0 else None,
+        selector=args.selector,
+        error_tolerant=not args.no_error_tolerant,
+        seed=args.seed,
+    )
+    resolver = PowerResolver(config)
+    if args.budget is not None:
+        pairs = resolver.candidate_pairs(table)
+        graph = resolver.build_graph(table, pairs)
+        session = resolver.simulated_crowd(table, pairs, args.band).session()
+        selection = resolver.make_selector().run(graph, session, budget=args.budget)
+        from .core import pairwise_quality
+        from .core.clustering import clusters_from_matches
+        from .data import true_match_pairs
+
+        matches = selection.matches
+        clusters = clusters_from_matches(len(table), matches)
+        quality = pairwise_quality(matches, true_match_pairs(table))
+        questions, iterations, cost = (
+            selection.questions, selection.iterations, selection.cost_cents,
+        )
+    else:
+        result = resolver.resolve(table, worker_band=args.band)
+        clusters, quality = result.clusters, result.quality
+        questions, iterations, cost = (
+            result.questions, result.iterations, result.cost_cents,
+        )
+    print(f"questions : {questions}")
+    print(f"iterations: {iterations}")
+    print(f"cost      : {cost / 100:.2f} USD")
+    print(f"clusters  : {len(clusters)}")
+    print(f"quality   : {quality}")
+    if args.output is not None:
+        with args.output.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(table.attributes) + ["cluster_id"])
+            cluster_of = {
+                record: index
+                for index, members in enumerate(clusters)
+                for record in members
+            }
+            for record in table:
+                writer.writerow(
+                    list(record.values) + [cluster_of[record.record_id]]
+                )
+        print(f"wrote clusters to {args.output}")
+    return 0
+
+
+def _command_experiment(args) -> int:
+    harness = EXPERIMENTS[args.name]
+    harness(save_to=args.save_to)
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "stats": _command_stats,
+        "resolve": _command_resolve,
+        "experiment": _command_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except PowerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

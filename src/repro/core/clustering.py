@@ -1,0 +1,43 @@
+"""From pairwise match decisions to entity clusters.
+
+The final deliverable of entity resolution is a partition of the records.
+Matched pairs are treated as edges and clusters are the connected
+components, computed with union-find.  ``clusters_to_matches`` is the
+inverse (all within-cluster pairs), used to make cluster-level outputs
+comparable under the pairwise metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..baselines.union_find import UnionFind
+from ..data.ground_truth import Pair, canonical_pair
+from ..exceptions import DataError
+
+
+def clusters_from_matches(num_records: int, matches: Iterable[Pair]) -> list[list[int]]:
+    """Connected components of the match graph, as sorted member lists."""
+    if num_records < 0:
+        raise DataError(f"num_records must be >= 0, got {num_records}")
+    sets = UnionFind(num_records)
+    for i, j in matches:
+        pair = canonical_pair(i, j)
+        if pair[1] >= num_records:
+            raise DataError(
+                f"match {pair} references a record >= num_records ({num_records})"
+            )
+        sets.union(*pair)
+    clusters = sorted(sets.clusters().values(), key=lambda members: members[0])
+    return [sorted(members) for members in clusters]
+
+
+def clusters_to_matches(clusters: Iterable[Iterable[int]]) -> set[Pair]:
+    """All within-cluster record pairs (the transitive closure of matches)."""
+    matches: set[Pair] = set()
+    for cluster in clusters:
+        members = sorted(cluster)
+        for index, i in enumerate(members):
+            for j in members[index + 1 :]:
+                matches.add((i, j))
+    return matches

@@ -1,0 +1,65 @@
+"""Evaluation metrics (paper §7.1).
+
+Quality is pairwise: with ``S_T`` the gold same-entity pairs and ``S_P`` the
+pairs an algorithm reports as matches, precision is ``|S_T ∩ S_P| / |S_P|``,
+recall is ``|S_T ∩ S_P| / |S_T|``, and F-measure their harmonic mean.  Gold
+pairs dropped by the similarity pruning still count against recall — the
+pruning step's misses are part of every algorithm's score, exactly as in
+the paper where all methods share the same pruned candidate set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Set
+from dataclasses import dataclass
+
+from ..data.ground_truth import Pair, canonical_pair
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Pairwise precision / recall / F-measure with the raw counts."""
+
+    precision: float
+    recall: float
+    f_measure: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f_measure:.3f} "
+            f"(tp={self.true_positives} fp={self.false_positives} "
+            f"fn={self.false_negatives})"
+        )
+
+
+def pairwise_quality(
+    predicted_matches: Iterable[Pair], true_matches: Set[Pair]
+) -> QualityReport:
+    """Score a set of predicted match pairs against the gold match pairs.
+
+    Pairs are canonicalised, so callers may pass them in either orientation.
+    An empty prediction set scores precision 1 by convention (no false
+    positives were asserted).
+    """
+    predicted = {canonical_pair(*pair) for pair in predicted_matches}
+    gold = {canonical_pair(*pair) for pair in true_matches}
+    true_positives = len(predicted & gold)
+    false_positives = len(predicted - gold)
+    false_negatives = len(gold - predicted)
+    precision = true_positives / len(predicted) if predicted else 1.0
+    recall = true_positives / len(gold) if gold else 1.0
+    if precision + recall == 0:
+        f_measure = 0.0
+    else:
+        f_measure = 2 * precision * recall / (precision + recall)
+    return QualityReport(
+        precision=precision,
+        recall=recall,
+        f_measure=f_measure,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )

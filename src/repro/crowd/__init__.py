@@ -1,0 +1,42 @@
+"""Simulated crowdsourcing platform: workers, voting, sessions, cost."""
+
+from .aggregate import VoteOutcome, majority_vote, weighted_majority_vote
+from .platform import CrowdSession, PerfectCrowd, SimulatedCrowd, ambiguity_difficulty
+from .assignment import (
+    AssigningCrowd,
+    AssignmentPolicy,
+    BestWorkerAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+from .latency import LatencyModel
+from .quality import (
+    DawidSkeneEstimator,
+    DawidSkeneResult,
+    QualityAwareCrowd,
+    estimate_accuracy_from_gold,
+)
+from .worker import ACCURACY_BANDS, Worker, WorkerPool
+
+__all__ = [
+    "ACCURACY_BANDS",
+    "AssigningCrowd",
+    "AssignmentPolicy",
+    "BestWorkerAssignment",
+    "RandomAssignment",
+    "RoundRobinAssignment",
+    "CrowdSession",
+    "DawidSkeneEstimator",
+    "LatencyModel",
+    "DawidSkeneResult",
+    "QualityAwareCrowd",
+    "estimate_accuracy_from_gold",
+    "ambiguity_difficulty",
+    "PerfectCrowd",
+    "SimulatedCrowd",
+    "VoteOutcome",
+    "Worker",
+    "WorkerPool",
+    "majority_vote",
+    "weighted_majority_vote",
+]

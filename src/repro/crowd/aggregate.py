@@ -1,0 +1,74 @@
+"""Vote aggregation: majority and weighted-majority voting (§6, §7.1).
+
+The paper assigns each question to ``z`` workers and aggregates with
+(weighted) majority voting.  The confidence of the voted answer is ``y / z``
+where ``y`` workers voted for the winning side (§6); for weighted voting the
+confidence is the winning side's share of the total weight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..exceptions import CrowdError
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Aggregated result of asking one question to several workers.
+
+    Attributes:
+        answer: the voted Yes (True) / No (False) answer.
+        confidence: share of (weighted) votes supporting the answer, in
+            ``(0.5, 1]`` unless the vote was a tie, in which case 0.5.
+        votes: the individual worker votes, for auditability.
+    """
+
+    answer: bool
+    confidence: float
+    votes: tuple[bool, ...]
+
+    @property
+    def num_yes(self) -> int:
+        return sum(self.votes)
+
+    @property
+    def num_no(self) -> int:
+        return len(self.votes) - self.num_yes
+
+
+def majority_vote(votes: Sequence[bool]) -> VoteOutcome:
+    """Unweighted majority vote; ties resolve to No (different entities)."""
+    if not votes:
+        raise CrowdError("cannot aggregate zero votes")
+    yes = sum(votes)
+    no = len(votes) - yes
+    answer = yes > no
+    winning = max(yes, no)
+    return VoteOutcome(
+        answer=answer, confidence=winning / len(votes), votes=tuple(votes)
+    )
+
+
+def weighted_majority_vote(
+    votes: Sequence[bool], weights: Sequence[float]
+) -> VoteOutcome:
+    """Weight each vote (typically by worker accuracy); ties resolve to No.
+
+    This is the "weighted majority voting" of §7.1.  Non-positive total
+    weight is rejected rather than silently producing a meaningless answer.
+    """
+    if not votes:
+        raise CrowdError("cannot aggregate zero votes")
+    if len(votes) != len(weights):
+        raise CrowdError(f"{len(votes)} votes but {len(weights)} weights")
+    yes_weight = sum(weight for vote, weight in zip(votes, weights) if vote)
+    total = sum(weights)
+    if total <= 0:
+        raise CrowdError(f"total vote weight must be positive, got {total}")
+    answer = yes_weight > total - yes_weight
+    winning = max(yes_weight, total - yes_weight)
+    return VoteOutcome(
+        answer=answer, confidence=winning / total, votes=tuple(votes)
+    )

@@ -1,0 +1,175 @@
+"""Worker model for the simulated crowd.
+
+A worker answers a pair-comparison question ("do these two records refer to
+the same entity?") correctly with probability equal to its accuracy — the
+model the paper uses for its simulation experiments (§7.2.2), where workers
+are generated "with quality in 70%-80%, 80%-90%, and above 90%".
+
+Answers are deterministic per ``(worker, pair)`` under a fixed seed and do
+not depend on the order in which questions are asked.  This reproduces the
+paper's AMT protocol in which all pairs were crowdsourced once so that
+"if different algorithms ask the same pair, they will use the same answer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.ground_truth import Pair
+from ..exceptions import ConfigurationError
+
+#: Accuracy bands used throughout the paper's evaluation, keyed by the label
+#: that appears in its figures ("70" = the 70%-80% approval band, etc.).
+ACCURACY_BANDS: dict[str, tuple[float, float]] = {
+    "70": (0.70, 0.80),
+    "80": (0.80, 0.90),
+    "90": (0.90, 1.00),
+}
+
+
+#: Worker behaviours: honest workers follow their accuracy; spammers ignore
+#: the question entirely (§2.2.2's "malicious workers" that quality control
+#: exists to catch).
+BEHAVIORS = ("honest", "always-yes", "always-no", "random")
+
+
+@dataclass(frozen=True)
+class Worker:
+    """One simulated crowd worker.
+
+    Attributes:
+        worker_id: stable identifier within its pool.
+        accuracy: probability of answering any single question correctly
+            (honest workers only).
+        seed: base seed shared by the pool; per-answer randomness is derived
+            from ``(seed, worker_id, pair)`` so answers are order-independent.
+        behavior: ``"honest"`` (default), or a spammer type — ``"always-yes"``,
+            ``"always-no"``, or ``"random"`` (coin flip regardless of truth).
+    """
+
+    worker_id: int
+    accuracy: float
+    seed: int
+    behavior: str = "honest"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ConfigurationError(
+                f"worker accuracy must be in [0, 1], got {self.accuracy}"
+            )
+        if self.behavior not in BEHAVIORS:
+            raise ConfigurationError(
+                f"unknown behavior {self.behavior!r}; known: {BEHAVIORS}"
+            )
+
+    def answer(self, pair: Pair, truth: bool, difficulty: float = 1.0) -> bool:
+        """Return this worker's Yes/No vote on *pair* given the ground truth.
+
+        Args:
+            pair: the question (used only to derive per-answer randomness).
+            truth: whether the records really refer to the same entity.
+            difficulty: scales an honest worker's error probability.  1.0
+                (the default) is the paper's §7.2.2 simulation model, where
+                a worker errs with probability ``1 - accuracy`` on *every*
+                pair.  Values < 1 model easy pairs (real crowds almost never
+                mistake two obviously different restaurants); values up to
+                2 model genuinely ambiguous pairs.  The effective error is
+                clamped to [0, 0.5].  Spammers ignore difficulty.
+        """
+        if difficulty < 0:
+            raise ConfigurationError(f"difficulty must be >= 0, got {difficulty}")
+        if self.behavior == "always-yes":
+            return True
+        if self.behavior == "always-no":
+            return False
+        rng = np.random.default_rng((self.seed, self.worker_id, pair[0], pair[1]))
+        if self.behavior == "random":
+            return bool(rng.random() < 0.5)
+        error = min(0.5, (1.0 - self.accuracy) * difficulty)
+        correct = rng.random() >= error
+        return truth if correct else not truth
+
+
+class WorkerPool:
+    """A pool of workers whose accuracies are drawn from a band.
+
+    Args:
+        size: number of workers in the pool.
+        accuracy_range: inclusive-exclusive ``(low, high)`` band, or an
+            :data:`ACCURACY_BANDS` label such as ``"80"``.
+        seed: RNG seed for both accuracy draws and per-answer randomness.
+        spammer_fraction: fraction of the pool replaced by spammers.
+        spammer_behavior: what the spammers do (``"random"``,
+            ``"always-yes"``, or ``"always-no"``).
+    """
+
+    def __init__(
+        self,
+        size: int = 50,
+        accuracy_range: tuple[float, float] | str = "90",
+        seed: int = 0,
+        spammer_fraction: float = 0.0,
+        spammer_behavior: str = "random",
+    ) -> None:
+        if size < 1:
+            raise ConfigurationError(f"pool size must be >= 1, got {size}")
+        if isinstance(accuracy_range, str):
+            try:
+                accuracy_range = ACCURACY_BANDS[accuracy_range]
+            except KeyError:
+                known = ", ".join(sorted(ACCURACY_BANDS))
+                raise ConfigurationError(
+                    f"unknown accuracy band {accuracy_range!r}; known: {known}"
+                ) from None
+        low, high = accuracy_range
+        if not 0.0 <= low <= high <= 1.0:
+            raise ConfigurationError(
+                f"accuracy range must satisfy 0 <= low <= high <= 1, got {accuracy_range}"
+            )
+        if not 0.0 <= spammer_fraction <= 1.0:
+            raise ConfigurationError(
+                f"spammer_fraction must be in [0, 1], got {spammer_fraction}"
+            )
+        if spammer_behavior not in ("random", "always-yes", "always-no"):
+            raise ConfigurationError(
+                f"spammer_behavior must be a spammer type, got {spammer_behavior!r}"
+            )
+        self.seed = seed
+        rng = np.random.default_rng((seed, 0xACC))
+        accuracies = low + (high - low) * rng.random(size)
+        num_spammers = round(size * spammer_fraction)
+        spammer_ids = set(
+            int(i) for i in rng.choice(size, size=num_spammers, replace=False)
+        )
+        self.workers = [
+            Worker(
+                worker_id=index,
+                accuracy=float(accuracy),
+                seed=seed,
+                behavior=spammer_behavior if index in spammer_ids else "honest",
+            )
+            for index, accuracy in enumerate(accuracies)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def assign(self, pair: Pair, count: int) -> list[Worker]:
+        """Pick *count* distinct workers for *pair*, deterministically.
+
+        The draw is seeded by the pair so the same workers answer the same
+        pair no matter which algorithm asks, or in which order.
+        """
+        if count > len(self.workers):
+            raise ConfigurationError(
+                f"cannot assign {count} workers from a pool of {len(self.workers)}"
+            )
+        rng = np.random.default_rng((self.seed, 0xA551, pair[0], pair[1]))
+        chosen = rng.choice(len(self.workers), size=count, replace=False)
+        return [self.workers[int(index)] for index in chosen]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([worker.accuracy for worker in self.workers]))

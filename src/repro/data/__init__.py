@@ -1,0 +1,49 @@
+"""Data substrate: table model, ground truth, generators, paper example."""
+
+from .generators import DATASETS, acmpub, cora, load_dataset, products, restaurant, synthesize
+from .ground_truth import (
+    Pair,
+    canonical_pair,
+    entity_clusters,
+    num_entities,
+    pair_truth,
+    true_match_pairs,
+)
+from .loaders import load_csv, save_csv
+from .paper_example import (
+    PAPER_ATTRIBUTE_WEIGHTS,
+    PAPER_SIMILARITIES,
+    PAPER_SPLIT_GROUPS,
+    PAPER_WEIGHTED_SIMILARITIES,
+    paper_pairs,
+    paper_table,
+    paper_vectors,
+)
+from .table import Record, Table
+
+__all__ = [
+    "DATASETS",
+    "PAPER_ATTRIBUTE_WEIGHTS",
+    "PAPER_SIMILARITIES",
+    "PAPER_SPLIT_GROUPS",
+    "PAPER_WEIGHTED_SIMILARITIES",
+    "Pair",
+    "Record",
+    "Table",
+    "acmpub",
+    "canonical_pair",
+    "cora",
+    "entity_clusters",
+    "load_csv",
+    "load_dataset",
+    "num_entities",
+    "pair_truth",
+    "products",
+    "paper_pairs",
+    "paper_table",
+    "paper_vectors",
+    "restaurant",
+    "save_csv",
+    "synthesize",
+    "true_match_pairs",
+]

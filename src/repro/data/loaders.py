@@ -1,0 +1,67 @@
+"""CSV round-trip for tables.
+
+The format is plain CSV with a header row.  If an ``entity_id`` column is
+present it is split off as ground truth; all other columns become string
+attributes.  This lets users bring their own datasets to the resolver and
+lets the benchmark suite cache generated datasets on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..exceptions import DataError
+from .table import Table
+
+ENTITY_COLUMN = "entity_id"
+
+
+def save_csv(table: Table, path: str | Path) -> None:
+    """Write *table* to *path*, appending an ``entity_id`` column if known."""
+    path = Path(path)
+    with_truth = table.has_ground_truth()
+    header = list(table.attributes) + ([ENTITY_COLUMN] if with_truth else [])
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for record in table:
+            row = list(record.values)
+            if with_truth:
+                row.append(str(record.entity_id))
+            writer.writerow(row)
+
+
+def load_csv(path: str | Path, name: str | None = None) -> Table:
+    """Read a table from *path*; an ``entity_id`` column becomes ground truth."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        entity_index = header.index(ENTITY_COLUMN) if ENTITY_COLUMN in header else None
+        attributes = [
+            column for index, column in enumerate(header) if index != entity_index
+        ]
+        table = Table(name=name or path.stem, attributes=tuple(attributes))
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise DataError(
+                    f"{path}:{line_number}: expected {len(header)} columns, got {len(row)}"
+                )
+            entity_id: int | None = None
+            if entity_index is not None:
+                try:
+                    entity_id = int(row[entity_index])
+                except ValueError:
+                    raise DataError(
+                        f"{path}:{line_number}: entity_id {row[entity_index]!r} "
+                        "is not an integer"
+                    ) from None
+            values = tuple(
+                value for index, value in enumerate(row) if index != entity_index
+            )
+            table.append(values, entity_id=entity_id)
+    return table

@@ -1,0 +1,161 @@
+"""String perturbations used to derive duplicate records from a clean entity.
+
+The perturbation families mirror the variation visible in the paper's Table 1
+sample: parenthesised qualifiers (``"cafe ritz-carlton (buckhead)"``),
+dropped or added tokens (``"ritz-carlton restaurant Georgia"``), suffix swaps
+(``"st." -> "dr"``), typos, abbreviations, and case/punctuation noise.
+
+Every function takes and returns a plain string plus a ``numpy.random.
+Generator`` so duplicate generation is fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+Perturbation = Callable[[str, np.random.Generator], str]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+ABBREVIATIONS = {
+    "street": "st.",
+    "st.": "st",
+    "avenue": "ave.",
+    "ave.": "ave",
+    "road": "rd.",
+    "rd.": "rd",
+    "boulevard": "blvd.",
+    "drive": "dr.",
+    "restaurant": "rest.",
+    "international": "intl",
+    "american": "amer.",
+    "department": "dept.",
+    "proceedings": "proc.",
+    "conference": "conf.",
+    "journal": "j.",
+    "transactions": "trans.",
+}
+
+
+def typo(text: str, rng: np.random.Generator) -> str:
+    """Apply one random character edit (substitute, delete, insert, swap)."""
+    if len(text) < 2:
+        return text
+    position = int(rng.integers(0, len(text)))
+    operation = rng.choice(["substitute", "delete", "insert", "swap"])
+    letter = _LETTERS[int(rng.integers(0, len(_LETTERS)))]
+    if operation == "substitute":
+        return text[:position] + letter + text[position + 1 :]
+    if operation == "delete":
+        return text[:position] + text[position + 1 :]
+    if operation == "insert":
+        return text[:position] + letter + text[position:]
+    if position == len(text) - 1:
+        position -= 1
+    return text[:position] + text[position + 1] + text[position] + text[position + 2 :]
+
+
+def drop_token(text: str, rng: np.random.Generator) -> str:
+    """Remove one random word token (never emptying the string)."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    victim = int(rng.integers(0, len(tokens)))
+    return " ".join(token for index, token in enumerate(tokens) if index != victim)
+
+
+def parenthesize_token(text: str, rng: np.random.Generator) -> str:
+    """Wrap the final token in parentheses, as in ``"cafe ritz (buckhead)"``."""
+    tokens = text.split()
+    if len(tokens) < 2 or tokens[-1].startswith("("):
+        return text
+    return " ".join(tokens[:-1]) + f" ({tokens[-1]})"
+
+
+def strip_punctuation(text: str, rng: np.random.Generator) -> str:
+    """Drop periods, commas, parentheses and apostrophes."""
+    return "".join(ch for ch in text if ch not in ".,()'&")
+
+
+def abbreviate(text: str, rng: np.random.Generator) -> str:
+    """Replace one known long form with its abbreviation (or vice versa)."""
+    tokens = text.split()
+    candidates = [i for i, token in enumerate(tokens) if token in ABBREVIATIONS]
+    if not candidates:
+        return text
+    index = candidates[int(rng.integers(0, len(candidates)))]
+    tokens[index] = ABBREVIATIONS[tokens[index]]
+    return " ".join(tokens)
+
+
+def swap_tokens(text: str, rng: np.random.Generator) -> str:
+    """Swap two adjacent tokens (e.g. reversed author name order)."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    position = int(rng.integers(0, len(tokens) - 1))
+    tokens[position], tokens[position + 1] = tokens[position + 1], tokens[position]
+    return " ".join(tokens)
+
+
+def initialize_first_token(text: str, rng: np.random.Generator) -> str:
+    """Reduce the first token to an initial (``"john smith" -> "j. smith"``)."""
+    tokens = text.split()
+    if not tokens or len(tokens[0]) < 2:
+        return text
+    tokens[0] = tokens[0][0] + "."
+    return " ".join(tokens)
+
+
+def append_qualifier(text: str, rng: np.random.Generator) -> str:
+    """Append a short qualifier token, as in ``"... restaurant georgia"``."""
+    qualifiers = ["inc", "co", "ltd", "the", "new", "old", "city"]
+    return f"{text} {qualifiers[int(rng.integers(0, len(qualifiers)))]}"
+
+
+def truncate(text: str, rng: np.random.Generator) -> str:
+    """Cut the string after a random token boundary (keeping >= 1 token)."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    keep = int(rng.integers(1, len(tokens)))
+    return " ".join(tokens[:keep])
+
+
+LIGHT_PERTURBATIONS: tuple[Perturbation, ...] = (
+    typo,
+    parenthesize_token,
+    strip_punctuation,
+    abbreviate,
+)
+
+HEAVY_PERTURBATIONS: tuple[Perturbation, ...] = LIGHT_PERTURBATIONS + (
+    drop_token,
+    swap_tokens,
+    initialize_first_token,
+    append_qualifier,
+    truncate,
+)
+
+
+def perturb(
+    text: str,
+    rng: np.random.Generator,
+    intensity: float = 0.5,
+    pool: Sequence[Perturbation] = LIGHT_PERTURBATIONS,
+) -> str:
+    """Apply 0-3 random perturbations from *pool*, scaled by *intensity*.
+
+    ``intensity`` in [0, 1] controls the expected number of edits; 0 returns
+    the string unchanged, 1 applies roughly three edits.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+    edits = int(rng.binomial(3, intensity))
+    result = text
+    for _ in range(edits):
+        operation = pool[int(rng.integers(0, len(pool)))]
+        result = operation(result, rng)
+    return result if result.strip() else text

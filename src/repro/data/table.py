@@ -1,0 +1,130 @@
+"""Record/table model (paper Definition 1).
+
+A :class:`Table` holds ``n`` records over ``m`` named attributes.  Each record
+optionally carries the identifier of the real-world entity it refers to; when
+present, these identifiers are the ground truth used by the simulated crowd
+and the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import DataError
+
+
+@dataclass(frozen=True)
+class Record:
+    """One row of a table.
+
+    Attributes:
+        record_id: position of the record in its table (0-based, stable).
+        values: one string value per table attribute.
+        entity_id: ground-truth entity identifier, or ``None`` if unknown.
+    """
+
+    record_id: int
+    values: tuple[str, ...]
+    entity_id: int | None = None
+
+    def __getitem__(self, attribute_index: int) -> str:
+        return self.values[attribute_index]
+
+
+@dataclass
+class Table:
+    """A collection of records sharing a schema.
+
+    Attributes:
+        name: human-readable dataset name (e.g. ``"restaurant"``).
+        attributes: attribute names, in column order.
+        records: the rows; ``records[i].record_id == i`` always holds.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.attributes = tuple(self.attributes)
+        for position, record in enumerate(self.records):
+            self._validate(position, record)
+
+    def _validate(self, position: int, record: Record) -> None:
+        if record.record_id != position:
+            raise DataError(
+                f"record at position {position} has record_id {record.record_id}"
+            )
+        if len(record.values) != len(self.attributes):
+            raise DataError(
+                f"record {record.record_id} has {len(record.values)} values, "
+                f"expected {len(self.attributes)}"
+            )
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[str]],
+        entity_ids: Sequence[int] | None = None,
+    ) -> "Table":
+        """Build a table from raw rows, assigning record ids by position."""
+        table = cls(name=name, attributes=tuple(attributes))
+        for index, row in enumerate(rows):
+            entity = entity_ids[index] if entity_ids is not None else None
+            table.append(tuple(str(value) for value in row), entity_id=entity)
+        return table
+
+    def append(self, values: tuple[str, ...], entity_id: int | None = None) -> Record:
+        """Append a record, assigning the next record id; return it."""
+        record = Record(record_id=len(self.records), values=values, entity_id=entity_id)
+        self._validate(record.record_id, record)
+        self.records.append(record)
+        return record
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, record_id: int) -> Record:
+        return self.records[record_id]
+
+    def has_ground_truth(self) -> bool:
+        """True when every record carries an entity id."""
+        return all(record.entity_id is not None for record in self.records)
+
+    def record_text(self, record_id: int) -> str:
+        """All attribute values of a record joined into one string.
+
+        Used for record-level similarity in the pruning step (§7.1).
+        """
+        return " ".join(self.records[record_id].values)
+
+    def project(self, attribute_indexes: Sequence[int], name: str | None = None) -> "Table":
+        """Return a new table keeping only the given attribute columns.
+
+        Used by the Fig. 34 experiment, which varies the number of attributes.
+        """
+        indexes = list(attribute_indexes)
+        if not indexes:
+            raise DataError("projection needs at least one attribute")
+        for index in indexes:
+            if not 0 <= index < self.num_attributes:
+                raise DataError(f"attribute index {index} out of range")
+        projected = Table(
+            name=name or f"{self.name}[{len(indexes)} attrs]",
+            attributes=tuple(self.attributes[i] for i in indexes),
+        )
+        for record in self.records:
+            projected.append(
+                tuple(record.values[i] for i in indexes), entity_id=record.entity_id
+            )
+        return projected

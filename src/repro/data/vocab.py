@@ -1,0 +1,152 @@
+"""Vocabularies backing the synthetic dataset generators.
+
+The word lists are deliberately sized so generated entities collide at
+realistic rates: distinct restaurants frequently share cuisine/city tokens and
+distinct papers share title words, which is what makes the entity-resolution
+problem non-trivial (near-duplicates across *different* entities).
+"""
+
+from __future__ import annotations
+
+RESTAURANT_NAME_HEADS = [
+    "ritz-carlton", "cafe claude", "cafe bizou", "gotham", "mesa", "la folie",
+    "chez panisse", "spago", "nobu", "le bernardin", "union square", "gramercy",
+    "blue ribbon", "carmine's", "patsy's", "il mulino", "palm", "smith & wollensky",
+    "morton's", "ruth's chris", "benihana", "p.f. chang's", "olive garden",
+    "cheesecake factory", "daniel", "jean-georges", "per se", "masa", "bouley",
+    "aureole", "tavern on the green", "balthazar", "pastis", "odeon", "raoul's",
+    "lucky strike", "felix", "lupa", "babbo", "esca", "otto", "del posto",
+    "eleven madison", "craft", "colicchio", "hearth", "prune", "momofuku",
+    "ippudo", "katz's", "second avenue", "russ & daughters", "barney greengrass",
+    "zabar's", "citarella", "fairway", "dean & deluca", "borgne", "brigtsen's",
+    "commander's palace", "galatoire's", "antoine's", "arnaud's", "brennan's",
+    "emeril's", "nola", "bayona", "herbsaint", "cochon", "peche", "shaya",
+]
+
+RESTAURANT_NAME_TAILS = [
+    "restaurant", "cafe", "grill", "bar & grill", "dining room", "bistro",
+    "brasserie", "kitchen", "tavern", "steakhouse", "trattoria", "osteria",
+    "cantina", "diner", "eatery", "chophouse", "oyster bar", "pizzeria",
+]
+
+STREET_NAMES = [
+    "peachtree", "main", "broadway", "market", "mission", "valencia", "castro",
+    "fillmore", "divisadero", "haight", "gough", "polk", "hyde", "larkin",
+    "van ness", "lombard", "columbus", "grant", "stockton", "powell", "mason",
+    "taylor", "jones", "leavenworth", "sutter", "bush", "pine", "california",
+    "sacramento", "clay", "washington", "jackson", "pacific", "union", "green",
+    "vallejo", "magazine", "canal", "royal", "bourbon", "chartres", "decatur",
+    "5th", "12th", "54th", "83rd", "lexington", "madison", "park", "amsterdam",
+]
+
+STREET_SUFFIXES = ["st.", "ave.", "rd.", "blvd.", "dr.", "ln.", "way", "pl."]
+
+CITIES = [
+    "atlanta", "new york", "san francisco", "los angeles", "chicago",
+    "new orleans", "boston", "seattle", "portland", "austin", "houston",
+    "philadelphia", "washington", "miami", "denver", "las vegas",
+]
+
+CUISINES = [
+    "american", "french", "italian", "japanese", "chinese", "mexican", "thai",
+    "indian", "mediterranean", "greek", "spanish", "korean", "vietnamese",
+    "cajun", "creole", "southern", "southwestern", "seafood", "steakhouse",
+    "cafe", "international", "european", "fusion", "barbecue", "vegetarian",
+]
+
+FIRST_NAMES = [
+    "john", "david", "michael", "james", "robert", "william", "richard",
+    "thomas", "mary", "jennifer", "linda", "susan", "karen", "lisa", "nancy",
+    "wei", "jian", "ming", "yong", "hong", "anil", "raj", "priya", "hiroshi",
+    "kenji", "yuki", "pierre", "jean", "marie", "hans", "klaus", "anna",
+    "sergey", "ivan", "olga", "carlos", "jose", "maria", "luigi", "giovanni",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "miller", "davis",
+    "garcia", "wilson", "anderson", "thomas", "taylor", "moore", "jackson",
+    "martin", "lee", "thompson", "white", "harris", "clark", "lewis",
+    "chen", "wang", "li", "zhang", "liu", "yang", "huang", "wu", "zhou",
+    "kumar", "patel", "singh", "sharma", "tanaka", "suzuki", "yamamoto",
+    "mueller", "schmidt", "fischer", "weber", "dubois", "moreau", "rossi",
+    "ferrari", "ivanov", "petrov", "kim", "park", "choi", "nguyen", "tran",
+]
+
+TITLE_TOPICS = [
+    "query optimization", "entity resolution", "data integration",
+    "crowdsourcing", "transaction processing", "index structures",
+    "stream processing", "graph mining", "machine learning", "deep learning",
+    "information retrieval", "natural language", "knowledge bases",
+    "data cleaning", "schema matching", "record linkage", "similarity joins",
+    "approximate queries", "distributed systems", "concurrency control",
+    "main memory databases", "column stores", "spatial databases",
+    "temporal databases", "probabilistic databases", "privacy preservation",
+    "access control", "data provenance", "workflow management", "web search",
+]
+
+TITLE_PATTERNS = [
+    "{adj} {topic} in {context}",
+    "towards {adj} {topic}",
+    "{topic}: a {adj} approach",
+    "efficient algorithms for {topic}",
+    "{adj} techniques for {topic} in {context}",
+    "on the complexity of {topic}",
+    "scaling {topic} to {context}",
+    "a survey of {topic}",
+    "{topic} with {context}",
+    "rethinking {topic} for {context}",
+]
+
+TITLE_ADJECTIVES = [
+    "scalable", "efficient", "adaptive", "robust", "incremental", "parallel",
+    "distributed", "online", "approximate", "cost-effective", "practical",
+    "declarative", "interactive", "unified", "principled",
+]
+
+TITLE_CONTEXTS = [
+    "large-scale systems", "the cloud", "relational databases", "big data",
+    "social networks", "sensor networks", "the web", "modern hardware",
+    "multi-core architectures", "heterogeneous data", "dynamic workloads",
+]
+
+JOURNALS = [
+    "acm transactions on database systems", "the vldb journal",
+    "ieee transactions on knowledge and data engineering",
+    "information systems", "data and knowledge engineering",
+    "journal of the acm", "acm computing surveys", "sigmod record",
+]
+
+CONFERENCES = [
+    "sigmod", "vldb", "icde", "edbt", "cidr", "kdd", "www", "cikm", "wsdm",
+    "pods", "icdt", "sigir", "aaai", "ijcai", "nips", "icml",
+]
+
+PUBLISHERS = [
+    "acm press", "ieee computer society", "morgan kaufmann", "springer",
+    "elsevier", "mit press", "addison-wesley", "prentice hall",
+]
+
+PUBLICATION_TYPES = ["article", "inproceedings", "techreport", "book", "phdthesis"]
+
+
+PRODUCT_BRANDS = [
+    "lenovo", "samsung", "apple", "sony", "dell", "asus", "acer", "lg",
+    "logitech", "bose", "anker", "jbl", "canon", "nikon", "hp", "garmin",
+]
+
+PRODUCT_LINES = [
+    "thinkpad x1", "galaxy s21", "airpods pro", "bravia xr", "xps 13",
+    "zenbook duo", "predator helios", "gram 17", "mx master", "quietcomfort",
+    "powercore", "charge 5", "eos r6", "z fc", "spectre x360", "fenix 7",
+]
+
+PRODUCT_TYPES = [
+    "laptop", "smartphone", "earbuds", "tv", "ultrabook", "monitor",
+    "gaming laptop", "notebook", "mouse", "headphones", "power bank",
+    "speaker", "camera", "mirrorless camera", "convertible", "smartwatch",
+]
+
+PRODUCT_MODIFIERS = [
+    "gen 2", "2nd generation", "pro", "plus", "max", "ultra", "se", "lite",
+    "2023", "refurbished", "international version", "bundle",
+]

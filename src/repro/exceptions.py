@@ -1,0 +1,32 @@
+"""Exception hierarchy for the power-er library.
+
+All library-raised exceptions derive from :class:`PowerError` so callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class PowerError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(PowerError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class DataError(PowerError):
+    """A table, record, or pair set violates a structural requirement."""
+
+
+class GraphError(PowerError):
+    """A graph operation was attempted on an invalid or inconsistent graph."""
+
+
+class CrowdError(PowerError):
+    """The simulated crowd was asked something it cannot answer."""
+
+
+class SelectionError(PowerError):
+    """A question-selection algorithm reached an invalid state."""

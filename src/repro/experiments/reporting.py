@@ -1,0 +1,47 @@
+"""Plain-text tables for the experiment harness.
+
+Every figure/table harness prints the same rows the paper plots, via these
+helpers, and the benchmark suite also persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned fixed-width table with a title rule."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    out = io.StringIO()
+    out.write(f"== {title} ==\n")
+    out.write("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rendered:
+        out.write("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence],
+         save_to: str | Path | None = None) -> str:
+    """Print a table and optionally append it to a results file."""
+    text = format_table(title, headers, rows)
+    print(text)
+    if save_to is not None:
+        path = Path(save_to)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text

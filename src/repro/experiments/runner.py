@@ -1,0 +1,261 @@
+"""Shared machinery for the per-figure experiment harnesses.
+
+A :class:`Workload` is a dataset prepared once — candidate pairs, similarity
+vectors, record-level scores, and ground truth — and cached per process so
+the many figure harnesses do not repeatedly pay the join cost.
+
+:func:`run_method` executes any of the five algorithms (power, power+,
+trans, acd, gcer) against a simulated crowd and returns one uniform result
+row; :func:`compare_methods` runs a panel of them on the same platform,
+wiring GCER's budget to ACD's question count exactly as the paper does
+("we set this parameter the same as ACD").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import ACDResolver, GCERResolver, TransResolver
+from ..core import PowerConfig, PowerResolver, pairwise_quality
+from ..crowd import SimulatedCrowd, WorkerPool, ambiguity_difficulty
+from ..data import acmpub, cora, restaurant, true_match_pairs
+from ..data.ground_truth import Pair, pair_truth
+from ..data.table import Table
+from ..exceptions import ConfigurationError
+from ..selection.base import SelectionResult
+from ..similarity import SimilarityConfig, similar_pairs, similarity_matrix
+
+#: The accuracy bands of the paper's Figs. 9-14, by their figure labels.
+WORKER_BANDS = ("70", "80", "90")
+
+#: The five algorithms of the §7.2 comparison.
+METHODS = ("power", "power+", "trans", "acd", "gcer")
+
+
+def fast_mode() -> bool:
+    """Honour POWER_BENCH_FAST=1: shrink sweeps for quick smoke runs."""
+    return os.environ.get("POWER_BENCH_FAST", "") == "1"
+
+
+@dataclass
+class Workload:
+    """A dataset prepared for experiments."""
+
+    name: str
+    table: Table
+    pairs: list[Pair]
+    vectors: np.ndarray
+    scores: np.ndarray  # record-level similarity per pair (baseline input)
+    truth: dict[Pair, bool]
+    gold: set[Pair]
+    pruning_threshold: float
+    similarity: str = "bigram"
+    extras: dict = field(default_factory=dict)
+
+
+_WORKLOAD_CACHE: dict[tuple, Workload] = {}
+
+
+def _dataset_table(name: str) -> tuple[Table, float]:
+    """Benchmark-scale tables and their §7.1 pruning thresholds."""
+    if name == "restaurant":
+        return restaurant(), 0.2
+    if name == "cora":
+        return cora(), 0.2
+    if name == "acmpub":
+        # The paper's full ACMPub has 204k candidate pairs; the default
+        # benchmark scale keeps the suite laptop-sized (see DESIGN.md).
+        scale = 0.02 if fast_mode() else 0.05
+        return acmpub(scale=scale), 0.3
+    raise ConfigurationError(f"unknown dataset {name!r}")
+
+
+def prepare(name: str, similarity: str = "bigram", max_pairs: int | None = None) -> Workload:
+    """Prepare (and cache) a dataset workload.
+
+    Args:
+        name: ``"restaurant"``, ``"cora"`` or ``"acmpub"``.
+        similarity: attribute similarity function for the vectors.
+        max_pairs: keep only the *most similar* max_pairs candidates —
+            used by the sweeps whose x-axis is the number of pairs.
+    """
+    key = (name, similarity, max_pairs)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is not None:
+        return cached
+    table, threshold = _dataset_table(name)
+    pairs = similar_pairs(table, threshold)
+    config = SimilarityConfig.uniform(table.num_attributes, function=similarity)
+    vectors = similarity_matrix(table, pairs, config)
+    scores = vectors.mean(axis=1)
+    if max_pairs is not None and len(pairs) > max_pairs:
+        keep = np.argsort(-scores, kind="stable")[:max_pairs]
+        keep.sort()
+        pairs = [pairs[int(i)] for i in keep]
+        vectors = vectors[keep]
+        scores = scores[keep]
+    workload = Workload(
+        name=name,
+        table=table,
+        pairs=pairs,
+        vectors=vectors,
+        scores=scores,
+        truth=pair_truth(table, pairs),
+        gold=true_match_pairs(table),
+        pruning_threshold=threshold,
+        similarity=similarity,
+    )
+    _WORKLOAD_CACHE[key] = workload
+    return workload
+
+
+def make_crowd(
+    workload: Workload, band: str, seed: int, mode: str = "simulation"
+) -> SimulatedCrowd:
+    """A crowd over the workload's pairs.
+
+    ``mode="simulation"`` is the paper's §7.2.2 uniform-error worker model;
+    ``mode="real"`` adds per-pair difficulty so errors concentrate on
+    ambiguous pairs, reproducing the §7.2.1 real-AMT regime.
+    """
+    if mode not in ("simulation", "real"):
+        raise ConfigurationError(f"mode must be 'simulation' or 'real', got {mode!r}")
+    difficulty = None
+    if mode == "real":
+        difficulty = ambiguity_difficulty(workload.vectors, workload.pairs)
+    return SimulatedCrowd(
+        workload.truth,
+        pool=WorkerPool(accuracy_range=band, seed=seed),
+        difficulty=difficulty,
+    )
+
+
+@dataclass
+class MethodRow:
+    """One algorithm's outcome on one workload/crowd."""
+
+    method: str
+    dataset: str
+    band: str
+    seed: int
+    f_measure: float
+    precision: float
+    recall: float
+    questions: int
+    iterations: int
+    cost_cents: int
+    assignment_time: float
+
+
+def _score(workload: Workload, result: SelectionResult) -> MethodRow:
+    quality = pairwise_quality(result.matches, workload.gold)
+    return MethodRow(
+        method=result.name,
+        dataset=workload.name,
+        band="",
+        seed=0,
+        f_measure=quality.f_measure,
+        precision=quality.precision,
+        recall=quality.recall,
+        questions=result.questions,
+        iterations=result.iterations,
+        cost_cents=result.cost_cents,
+        assignment_time=result.assignment_time,
+    )
+
+
+def run_method(
+    method: str,
+    workload: Workload,
+    crowd: SimulatedCrowd,
+    seed: int = 0,
+    epsilon: float | None = 0.1,
+    selector: str = "power",
+    gcer_budget: int | None = None,
+    similarity: str | None = None,
+) -> MethodRow:
+    """Run one of the five §7.2 algorithms and score it."""
+    session = crowd.session()
+    if method in ("power", "power+"):
+        config = PowerConfig(
+            similarity=similarity or workload.similarity,
+            pruning_threshold=workload.pruning_threshold,
+            epsilon=epsilon,
+            selector=selector,
+            error_tolerant=(method == "power+"),
+            seed=seed,
+        )
+        resolver = PowerResolver(config)
+        graph = resolver.build_graph(workload.table, workload.pairs)
+        result = resolver.make_selector().run(graph, session)
+        result.name = method
+    elif method == "trans":
+        result = TransResolver().run(workload.pairs, workload.scores, session)
+    elif method == "acd":
+        result = ACDResolver(seed=seed).run(workload.pairs, workload.scores, session)
+    elif method == "gcer":
+        result = GCERResolver(budget=gcer_budget).run(
+            workload.pairs, workload.scores, session
+        )
+    else:
+        raise ConfigurationError(f"unknown method {method!r}; known: {METHODS}")
+    row = _score(workload, result)
+    row.seed = seed
+    return row
+
+
+def compare_methods(
+    workload: Workload,
+    band: str,
+    seed: int,
+    mode: str = "simulation",
+    methods: tuple[str, ...] = METHODS,
+    epsilon: float | None = 0.1,
+) -> list[MethodRow]:
+    """Run a panel of methods on one shared crowd (the §7.1 protocol).
+
+    GCER's question budget is tied to ACD's usage, as in the paper; when ACD
+    is not in the panel, GCER runs unbudgeted.
+    """
+    crowd = make_crowd(workload, band, seed, mode)
+    rows: list[MethodRow] = []
+    acd_questions: int | None = None
+    ordered = sorted(methods, key=lambda m: 0 if m == "acd" else 1)
+    for method in ordered:
+        row = run_method(
+            method,
+            workload,
+            crowd,
+            seed=seed,
+            epsilon=epsilon,
+            gcer_budget=acd_questions if method == "gcer" else None,
+        )
+        row.band = band
+        if method == "acd":
+            acd_questions = row.questions
+        rows.append(row)
+    rows.sort(key=lambda row: methods.index(row.method))
+    return rows
+
+
+def average_rows(rows: list[MethodRow]) -> MethodRow:
+    """Average a list of same-method rows over seeds."""
+    if not rows:
+        raise ConfigurationError("cannot average zero rows")
+    first = rows[0]
+    return MethodRow(
+        method=first.method,
+        dataset=first.dataset,
+        band=first.band,
+        seed=-1,
+        f_measure=float(np.mean([r.f_measure for r in rows])),
+        precision=float(np.mean([r.precision for r in rows])),
+        recall=float(np.mean([r.recall for r in rows])),
+        questions=round(float(np.mean([r.questions for r in rows]))),
+        iterations=round(float(np.mean([r.iterations for r in rows]))),
+        cost_cents=round(float(np.mean([r.cost_cents for r in rows]))),
+        assignment_time=float(np.mean([r.assignment_time for r in rows])),
+    )

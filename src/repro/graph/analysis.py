@@ -1,0 +1,118 @@
+"""Structural analysis of partial-order graphs.
+
+Diagnostics the paper reports or relies on implicitly:
+
+* :func:`order_statistics` — size, edge count, comparability fraction
+  (Appendix E.1.1 reports 70-84 % incomparability), depth (longest chain),
+  and width (the Dilworth number ``B`` that bounds SinglePath's cost).
+* :func:`transitive_reduction` — the Hasse diagram, i.e. the minimal edge
+  set drawn in the paper's Fig. 1 ("if there is already a path between
+  them, we do not show the direct edge").
+* :func:`count_order_violations` — pairs whose ground truth contradicts the
+  §5.1 monotonicity assumption; the paper argues "few pairs invalidate the
+  partial order", and this makes the claim checkable on any dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.ground_truth import Pair
+from ..exceptions import GraphError
+from .dag import OrderedGraph, PairGraph
+from .matching import minimum_path_cover, restricted_adjacency
+from .topo import topological_layers
+
+
+@dataclass(frozen=True)
+class OrderStatistics:
+    """Summary statistics of a dominance DAG."""
+
+    num_vertices: int
+    num_edges: int
+    comparability: float  # fraction of vertex pairs that are comparable
+    depth: int  # longest chain length (number of topological layers)
+    width: int  # Dilworth number B = minimal path-cover size
+
+    def __str__(self) -> str:
+        return (
+            f"|V|={self.num_vertices} |E|={self.num_edges} "
+            f"comparable={self.comparability:.1%} depth={self.depth} "
+            f"width={self.width}"
+        )
+
+
+def order_statistics(graph: OrderedGraph, compute_width: bool = True) -> OrderStatistics:
+    """Compute the summary statistics of *graph*.
+
+    Args:
+        compute_width: the Dilworth number needs a maximum matching, which
+            is the expensive part; pass False to skip it (reported as 0).
+    """
+    layers = topological_layers(graph)
+    width = 0
+    if compute_width and len(graph) > 0:
+        active = np.ones(len(graph), dtype=bool)
+        sub_adjacency, _ = restricted_adjacency(graph.adjacency(), active)
+        width = len(minimum_path_cover(sub_adjacency))
+    return OrderStatistics(
+        num_vertices=len(graph),
+        num_edges=graph.num_edges,
+        comparability=graph.comparability_fraction(),
+        depth=len(layers),
+        width=width,
+    )
+
+
+def transitive_reduction(graph: OrderedGraph) -> list[tuple[int, int]]:
+    """The Hasse diagram: edges (u, v) with no intermediate w, u > w > v.
+
+    Because the dominance relation is transitively closed, an edge is
+    *redundant* exactly when some child of ``u`` is an ancestor of ``v``;
+    equivalently, ``v`` is kept iff no other child of ``u`` dominates it.
+    """
+    reduced: list[tuple[int, int]] = []
+    adjacency = graph.adjacency()
+    for u in range(len(graph)):
+        children = adjacency[u]
+        if len(children) == 0:
+            continue
+        child_set = set(int(c) for c in children)
+        for v in children:
+            v = int(v)
+            # v is immediate unless some other child strictly dominates it.
+            intermediates = graph.ancestor_mask(v)
+            has_between = any(
+                intermediates[c] for c in child_set if c != v
+            )
+            if not has_between:
+                reduced.append((u, v))
+    return reduced
+
+
+def count_order_violations(
+    graph: PairGraph, truth: dict[Pair, bool]
+) -> tuple[int, int]:
+    """Count monotonicity violations of the §5.1 assumption.
+
+    A violation is an ordered vertex pair ``u > v`` where ``v`` is a true
+    match but ``u`` is not: a GREEN answer on ``v`` would wrongly color
+    ``u`` GREEN (and a RED ``u`` would wrongly color ``v``).
+
+    Returns:
+        ``(violations, comparable_pairs)`` so callers can report a rate.
+    """
+    if not isinstance(graph, PairGraph):
+        raise GraphError("violation counting needs a pair-level graph")
+    labels = np.array([truth[pair] for pair in graph.pairs])
+    violations = 0
+    comparable = 0
+    adjacency = graph.adjacency()
+    for u in range(len(graph)):
+        children = adjacency[u]
+        comparable += len(children)
+        if not labels[u] and len(children):
+            violations += int(np.count_nonzero(labels[children]))
+    return violations, comparable

@@ -1,0 +1,137 @@
+"""Fractional cascading for the 2-D range tree (paper §4.1).
+
+The paper notes that fractional cascading reduces the query complexity of
+the 2-D range tree from ``O(log^2 |V| + k)`` to ``O(log |V| + k)``: instead
+of binary-searching the y-array of *every* canonical node, search once at
+the root and *cascade* the position downward through precomputed bridge
+pointers.
+
+Implementation: the tree is built bottom-up exactly like
+:class:`~repro.graph.range_tree.RangeTree2D` (each node's y-sorted payload
+is the merge of its children's), plus, for every node, two bridge arrays —
+``bridge_left[i]`` / ``bridge_right[i]`` give, for the i-th position in the
+node's y-array, the corresponding insertion position in the left / right
+child's y-array.  Following a bridge is O(1), so after the single root
+search every canonical node's cutoff is found without further searching.
+
+The public behaviour is identical to ``RangeTree2D``; tests assert equality
+and count the binary searches to verify the cascading actually cascades.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+
+@dataclass
+class _CascadeNode:
+    lo: int
+    hi: int
+    max_x: float
+    min_x: float
+    ys: list[float] = field(default_factory=list)
+    payload: list[int] = field(default_factory=list)
+    bridge_left: list[int] = field(default_factory=list)
+    bridge_right: list[int] = field(default_factory=list)
+    left: "_CascadeNode | None" = None
+    right: "_CascadeNode | None" = None
+
+
+class CascadingRangeTree2D:
+    """2-D range tree with fractional cascading on the y dimension.
+
+    Args:
+        points: ``(n, 2)`` array of (x, y); point ``i`` reported by index.
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise GraphError(f"points must have shape (n, 2), got {points.shape}")
+        self._n = points.shape[0]
+        #: Binary searches performed by queries (diagnostic for tests).
+        self.searches = 0
+        if self._n == 0:
+            self._root = None
+            return
+        xs = sorted(set(float(x) for x in points[:, 0]))
+        rank = {x: i for i, x in enumerate(xs)}
+        buckets: list[list[int]] = [[] for _ in xs]
+        for index in range(self._n):
+            buckets[rank[float(points[index, 0])]].append(index)
+        for bucket in buckets:
+            bucket.sort(key=lambda i: float(points[i, 1]))
+        self._xs = xs
+        self._root = self._build(0, len(xs) - 1, buckets, points)
+
+    def _build(
+        self, lo: int, hi: int, buckets: list[list[int]], points: np.ndarray
+    ) -> _CascadeNode:
+        node = _CascadeNode(lo=lo, hi=hi, max_x=self._xs[hi], min_x=self._xs[lo])
+        if lo == hi:
+            node.payload = list(buckets[lo])
+            node.ys = [float(points[i, 1]) for i in node.payload]
+            return node
+        mid = (lo + hi) // 2
+        node.left = self._build(lo, mid, buckets, points)
+        node.right = self._build(mid + 1, hi, buckets, points)
+        # Merge children and record, per merged position, how many elements
+        # of each child are <= it — the bridge pointers.
+        left, right = node.left, node.right
+        i = j = 0
+        while i < len(left.ys) or j < len(right.ys):
+            take_left = j >= len(right.ys) or (
+                i < len(left.ys) and left.ys[i] <= right.ys[j]
+            )
+            if take_left:
+                node.ys.append(left.ys[i])
+                node.payload.append(left.payload[i])
+                i += 1
+            else:
+                node.ys.append(right.ys[j])
+                node.payload.append(right.payload[j])
+                j += 1
+            node.bridge_left.append(i)
+            node.bridge_right.append(j)
+        return node
+
+    def query_leq(self, qx: float, qy: float) -> list[int]:
+        """Indices of points with ``x <= qx`` and ``y <= qy``.
+
+        One binary search at the root; every descent step converts the
+        current y-cutoff to the child's cutoff through the bridges in O(1).
+        """
+        if self._root is None:
+            return []
+        result: list[int] = []
+        # Root cutoff: number of root ys <= qy.
+        self.searches += 1
+        cutoff = bisect_right(self._root.ys, qy)
+
+        def cutoffs(node: _CascadeNode, cut: int) -> tuple[int, int]:
+            if cut == 0:
+                return 0, 0
+            return node.bridge_left[cut - 1], node.bridge_right[cut - 1]
+
+        stack: list[tuple[_CascadeNode, int]] = [(self._root, cutoff)]
+        while stack:
+            node, cut = stack.pop()
+            if node.min_x > qx or cut == 0:
+                continue
+            if node.max_x <= qx:
+                result.extend(node.payload[:cut])
+                continue
+            left_cut, right_cut = cutoffs(node, cut)
+            if node.left is not None:
+                stack.append((node.left, left_cut))
+            if node.right is not None:
+                stack.append((node.right, right_cut))
+        return result
+
+    def __len__(self) -> int:
+        return self._n

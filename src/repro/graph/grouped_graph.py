@@ -1,0 +1,137 @@
+"""The grouped graph (paper Definitions 5-6 and Eq. 5-6).
+
+Each vertex of a :class:`GroupedGraph` is a group of pairs.  The partial
+order between groups is decided from the per-attribute bounds: with
+``g.l / g.u`` the smallest/largest member similarity on an attribute,
+
+* ``g_i >= g_j`` when ``g_i.l^k >= g_j.u^k`` for every attribute ``k``;
+* ``g_i >  g_j`` when additionally ``g_i.l^k > g_j.u^k`` for some ``k``
+
+— the sufficient condition the paper proves, which makes group dominance
+checkable in O(m) from the bounds alone.  Asking a group asks one randomly
+chosen member pair, and the group's color applies to all members (§4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..data.ground_truth import Pair
+from ..exceptions import GraphError
+from .dag import OrderedGraph, PairGraph
+from .grouping import Grouping
+
+
+class GroupedGraph(OrderedGraph):
+    """A graph whose vertices are groups of base-graph pairs.
+
+    Args:
+        base: the non-grouped :class:`PairGraph`.
+        grouping: a complete, disjoint partition of the base vertices (as
+            produced by :func:`repro.graph.grouping.split_grouping` or
+            :func:`~repro.graph.grouping.greedy_grouping`).
+    """
+
+    def __init__(self, base: PairGraph, grouping: Grouping) -> None:
+        super().__init__(num_vertices=len(grouping))
+        self.base = base
+        self.grouping = [list(group) for group in grouping]
+        seen: set[int] = set()
+        for group in self.grouping:
+            if not group:
+                raise GraphError("grouped graph cannot contain empty groups")
+            for member in group:
+                if not 0 <= member < len(base):
+                    raise GraphError(f"group member {member} is not a base vertex")
+                if member in seen:
+                    raise GraphError(f"base vertex {member} appears in two groups")
+                seen.add(member)
+        if len(seen) != len(base):
+            raise GraphError(
+                f"grouping covers {len(seen)} of {len(base)} base vertices"
+            )
+        self.lower_bounds = np.vstack(
+            [base.vectors[group].min(axis=0) for group in self.grouping]
+        )
+        self.upper_bounds = np.vstack(
+            [base.vectors[group].max(axis=0) for group in self.grouping]
+        )
+        self._group_of_base = np.empty(len(base), dtype=np.int64)
+        for group_id, group in enumerate(self.grouping):
+            self._group_of_base[group] = group_id
+
+    @property
+    def num_attributes(self) -> int:
+        return self.base.num_attributes
+
+    def descendant_mask(self, vertex: int) -> np.ndarray:
+        self._check_vertex(vertex)
+        lower = self.lower_bounds[vertex]
+        mask = np.logical_and(
+            (self.upper_bounds <= lower).all(axis=1),
+            (self.upper_bounds < lower).any(axis=1),
+        )
+        mask[vertex] = False
+        return mask
+
+    def ancestor_mask(self, vertex: int) -> np.ndarray:
+        self._check_vertex(vertex)
+        upper = self.upper_bounds[vertex]
+        mask = np.logical_and(
+            (self.lower_bounds >= upper).all(axis=1),
+            (self.lower_bounds > upper).any(axis=1),
+        )
+        mask[vertex] = False
+        return mask
+
+    def member_pairs(self, vertex: int) -> tuple[Pair, ...]:
+        self._check_vertex(vertex)
+        return tuple(self.base.pairs[member] for member in self.grouping[vertex])
+
+    def representative_pair(self, vertex: int, rng: np.random.Generator) -> Pair:
+        """One random member pair — the question actually sent to workers."""
+        self._check_vertex(vertex)
+        group = self.grouping[vertex]
+        return self.base.pairs[group[int(rng.integers(0, len(group)))]]
+
+    def group_of_pair_vertex(self, base_vertex: int) -> int:
+        """The group containing a base-graph vertex."""
+        if not 0 <= base_vertex < len(self.base):
+            raise GraphError(f"base vertex {base_vertex} out of range")
+        return int(self._group_of_base[base_vertex])
+
+    def group_sizes(self) -> np.ndarray:
+        return np.array([len(group) for group in self.grouping])
+
+
+def build_graph(
+    pairs: Sequence[Pair],
+    vectors: np.ndarray,
+    epsilon: float | None = 0.1,
+    grouping_algorithm: str = "split",
+) -> OrderedGraph:
+    """Convenience builder: PairGraph, optionally grouped.
+
+    Args:
+        pairs / vectors: the candidate pairs and their similarity matrix.
+        epsilon: grouping threshold; ``None`` (or 0 with a non-grouping
+            intent) returns the raw :class:`PairGraph`.
+        grouping_algorithm: ``"split"`` (default, Algorithm 2) or
+            ``"greedy"`` (Appendix A).
+    """
+    from .grouping import GROUPING_ALGORITHMS
+
+    base = PairGraph(pairs, vectors)
+    if epsilon is None:
+        return base
+    try:
+        algorithm = GROUPING_ALGORITHMS[grouping_algorithm]
+    except KeyError:
+        known = ", ".join(sorted(GROUPING_ALGORITHMS))
+        raise GraphError(
+            f"unknown grouping algorithm {grouping_algorithm!r}; known: {known}"
+        ) from None
+    grouping = algorithm(base.vectors, epsilon)
+    return GroupedGraph(base, grouping)

@@ -1,0 +1,42 @@
+"""Question selection: Random, SinglePath, MultiPath, Power (+error tolerance)."""
+
+from .base import QuestionSelector, SelectionResult
+from .error_tolerant import (
+    ErrorPolicy,
+    resolve_blue_pairs,
+    resolve_undecided_vertices,
+)
+from .histograms import (
+    MatchHistogram,
+    attribute_weights,
+    build_histogram,
+    weighted_similarities,
+)
+from .multi_path import MultiPathSelector
+from .random_selector import RandomSelector
+from .single_path import SinglePathSelector
+from .topo_sort import TopoSortSelector
+
+SELECTORS = {
+    "random": RandomSelector,
+    "single-path": SinglePathSelector,
+    "multi-path": MultiPathSelector,
+    "power": TopoSortSelector,
+}
+
+__all__ = [
+    "ErrorPolicy",
+    "MatchHistogram",
+    "MultiPathSelector",
+    "QuestionSelector",
+    "RandomSelector",
+    "SELECTORS",
+    "SelectionResult",
+    "SinglePathSelector",
+    "TopoSortSelector",
+    "attribute_weights",
+    "build_histogram",
+    "resolve_blue_pairs",
+    "resolve_undecided_vertices",
+    "weighted_similarities",
+]

@@ -1,0 +1,179 @@
+"""Question-selection framework (paper §5).
+
+A :class:`QuestionSelector` decides *which* uncolored vertices to ask next;
+the shared :meth:`QuestionSelector.run` loop asks them through a
+:class:`~repro.crowd.platform.CrowdSession`, feeds the answers to the
+coloring engine, and keeps going until every vertex is colored.  Each call
+to :meth:`QuestionSelector.select` is one *iteration* — the paper's latency
+unit — and the time spent inside ``select`` is the "assignment time" of
+Fig. 30.
+
+Selectors are written against :class:`~repro.graph.dag.OrderedGraph`, so
+the same code serves grouped and non-grouped graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crowd.platform import CrowdSession
+from ..data.ground_truth import Pair
+from ..exceptions import SelectionError
+from ..graph.coloring import ColoringState
+from ..graph.dag import OrderedGraph
+from .error_tolerant import (
+    ErrorPolicy,
+    resolve_blue_pairs,
+    resolve_undecided_vertices,
+)
+
+
+@dataclass
+class SelectionResult:
+    """Everything an experiment needs from one selector run.
+
+    Attributes:
+        name: selector name (``"single-path"``, ``"power"``, ...).
+        labels: final match decision per record pair.
+        questions: distinct pairs sent to the crowd.
+        iterations: crowd round trips (the latency proxy).
+        assignment_time: seconds spent choosing questions (Fig. 30 metric).
+        state: the final coloring, for inspection (None for baselines that
+            do not use the partial-order graph).
+        cost_cents: monetary cost under the session's HIT pricing.
+    """
+
+    name: str
+    labels: dict[Pair, bool]
+    questions: int
+    iterations: int
+    assignment_time: float
+    state: ColoringState | None
+    cost_cents: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def matches(self) -> set[Pair]:
+        """Pairs the run declared to refer to the same entity."""
+        return {pair for pair, same in self.labels.items() if same}
+
+
+class QuestionSelector(ABC):
+    """Base class: the ask/color loop shared by every selection strategy.
+
+    Args:
+        error_policy: when given, runs in the paper's Power+ mode — answers
+            below the confidence threshold color the vertex BLUE (no
+            inference), and BLUE pairs are settled by the §6 histogram step
+            after the loop.
+        seed: seed for tie-breaking randomness (representative pairs,
+            random selection).
+    """
+
+    name: str = "selector"
+
+    def __init__(self, error_policy: ErrorPolicy | None = None, seed: int = 0) -> None:
+        self.error_policy = error_policy
+        self.seed = seed
+
+    @abstractmethod
+    def select(
+        self, graph: OrderedGraph, state: ColoringState, rng: np.random.Generator
+    ) -> list[int]:
+        """Choose the uncolored vertices to ask in this iteration."""
+
+    def reset(self) -> None:
+        """Clear any per-run internal state; called at the top of ``run``."""
+
+    def run(
+        self,
+        graph: OrderedGraph,
+        session: CrowdSession,
+        budget: int | None = None,
+    ) -> SelectionResult:
+        """Color the whole graph, asking the crowd through *session*.
+
+        Args:
+            graph: the (grouped) partial-order graph.
+            session: the crowd ledger for this run.
+            budget: optional cap on questions.  When it runs out before the
+                graph is fully colored, the remaining vertices are settled
+                with the §6 histogram over whatever was colored so far —
+                turning the selector into an anytime algorithm with an
+                explicit cost/quality dial.
+        """
+        if budget is not None and budget < 0:
+            raise SelectionError(f"budget must be >= 0, got {budget}")
+        self.reset()
+        rng = np.random.default_rng(self.seed)
+        state = ColoringState(graph)
+        assignment_time = 0.0
+        guard = 0
+        while not state.is_complete():
+            remaining = (
+                None if budget is None else budget - session.questions_asked
+            )
+            if remaining is not None and remaining <= 0:
+                break
+            guard += 1
+            if guard > 10 * len(graph) + 10:
+                raise SelectionError(
+                    f"{self.name}: no progress after {guard} iterations"
+                )
+            started = time.perf_counter()
+            vertices = self.select(graph, state, rng)
+            assignment_time += time.perf_counter() - started
+            vertices = [v for v in vertices if state.colors[v] == 0]
+            if not vertices:
+                raise SelectionError(
+                    f"{self.name}: selected no uncolored vertices while "
+                    f"{len(state.uncolored())} remain"
+                )
+            if remaining is not None:
+                vertices = vertices[:remaining]
+            self._ask(graph, state, session, vertices, rng)
+        labels = state.pair_labels()
+        fallback_policy = self.error_policy or ErrorPolicy()
+        if self.error_policy is not None:
+            labels.update(resolve_blue_pairs(graph, state, self.error_policy))
+        uncolored = state.uncolored()
+        if uncolored.size:
+            labels.update(
+                resolve_undecided_vertices(graph, state, uncolored, fallback_policy)
+            )
+        return SelectionResult(
+            name=self.name,
+            labels=labels,
+            questions=session.questions_asked,
+            iterations=session.iterations,
+            assignment_time=assignment_time,
+            state=state,
+            cost_cents=session.cost_cents,
+        )
+
+    def _ask(
+        self,
+        graph: OrderedGraph,
+        state: ColoringState,
+        session: CrowdSession,
+        vertices: list[int],
+        rng: np.random.Generator,
+    ) -> None:
+        """Send one batch to the crowd and apply the answers."""
+        questions = {
+            vertex: graph.representative_pair(vertex, rng) for vertex in vertices
+        }
+        answers = session.ask_batch(questions.values())
+        threshold = (
+            self.error_policy.confidence_threshold if self.error_policy else None
+        )
+        for vertex, pair in questions.items():
+            outcome = answers[pair]
+            if threshold is not None and outcome.confidence < threshold:
+                state.mark_blue(vertex)
+            else:
+                state.apply_answer(vertex, outcome.answer)

@@ -1,0 +1,31 @@
+"""The Multi-Path parallel selector (paper §5.3.1, Algorithm 7).
+
+Each iteration decomposes the uncolored sub-DAG into the minimal set of
+vertex-disjoint paths and asks the mid-vertex of *every* path in one batch.
+Conflicting inferences across paths are resolved by the coloring engine's
+majority voting, exactly as §5.3.1 prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.coloring import ColoringState
+from ..graph.dag import OrderedGraph
+from ..graph.matching import minimum_path_cover, restricted_adjacency
+from .base import QuestionSelector
+
+
+class MultiPathSelector(QuestionSelector):
+    """Parallel selector: ask all path mid-vertices per iteration."""
+
+    name = "multi-path"
+
+    def select(
+        self, graph: OrderedGraph, state: ColoringState, rng: np.random.Generator
+    ) -> list[int]:
+        active = state.uncolored_mask()
+        sub_adjacency, original_ids = restricted_adjacency(graph.adjacency(), active)
+        paths = minimum_path_cover(sub_adjacency)
+        mids = {int(original_ids[path[len(path) // 2]]) for path in paths}
+        return sorted(mids)

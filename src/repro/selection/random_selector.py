@@ -1,0 +1,26 @@
+"""The Random baseline selector (paper Appendix E.2.1).
+
+Asks one uniformly random uncolored vertex per iteration.  Inference from
+the partial order still applies — only the *choice* of question is naive —
+so this isolates the value of the paper's boundary-seeking strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.coloring import ColoringState
+from ..graph.dag import OrderedGraph
+from .base import QuestionSelector
+
+
+class RandomSelector(QuestionSelector):
+    """Serial baseline: ask a random uncolored vertex each iteration."""
+
+    name = "random"
+
+    def select(
+        self, graph: OrderedGraph, state: ColoringState, rng: np.random.Generator
+    ) -> list[int]:
+        uncolored = state.uncolored()
+        return [int(rng.choice(uncolored))]

@@ -1,0 +1,34 @@
+"""Similarity substrate: tokenizers, string similarities, vectors, joins."""
+
+from .edit import edit_distance, edit_distance_within, edit_similarity
+from .jaccard import bigram_jaccard, jaccard, qgram_jaccard, token_jaccard
+from .join import similar_pairs, similar_pairs_edit, top_k_pairs
+from .tokenize import normalize, qgram_tokens, word_tokens
+from .vectors import (
+    SIMILARITY_FUNCTIONS,
+    SimilarityConfig,
+    attribute_similarities,
+    resolve_function,
+    similarity_matrix,
+)
+
+__all__ = [
+    "SIMILARITY_FUNCTIONS",
+    "SimilarityConfig",
+    "attribute_similarities",
+    "bigram_jaccard",
+    "edit_distance",
+    "edit_distance_within",
+    "edit_similarity",
+    "jaccard",
+    "normalize",
+    "qgram_jaccard",
+    "qgram_tokens",
+    "resolve_function",
+    "similar_pairs",
+    "similar_pairs_edit",
+    "similarity_matrix",
+    "token_jaccard",
+    "top_k_pairs",
+    "word_tokens",
+]

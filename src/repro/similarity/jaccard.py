@@ -1,0 +1,42 @@
+"""Jaccard similarity on token sets (paper Eq. 1)."""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+from .tokenize import qgram_tokens, word_tokens
+
+
+def jaccard(tokens_a: Set[str], tokens_b: Set[str]) -> float:
+    """Return ``|A ∩ B| / |A ∪ B|`` for two token sets.
+
+    Two empty sets are defined to be identical (similarity 1.0), matching the
+    convention used for edit similarity on empty strings.
+    """
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    intersection = len(tokens_a & tokens_b)
+    if intersection == 0:
+        return 0.0
+    union = len(tokens_a) + len(tokens_b) - intersection
+    return intersection / union
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of the word-token sets of two strings (Eq. 1)."""
+    return jaccard(word_tokens(a), word_tokens(b))
+
+
+def qgram_jaccard(a: str, b: str, q: int = 2) -> float:
+    """Jaccard similarity of the *q*-gram sets of two strings.
+
+    With ``q=2`` this is the paper's default "bigram" similarity (§7.1).
+    """
+    return jaccard(qgram_tokens(a, q), qgram_tokens(b, q))
+
+
+def bigram_jaccard(a: str, b: str) -> float:
+    """Bigram Jaccard similarity — the paper's default similarity function."""
+    return qgram_jaccard(a, b, q=2)

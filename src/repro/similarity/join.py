@@ -1,0 +1,175 @@
+"""Candidate-pair generation: the pruning step of §7.1.
+
+"We compute a similarity score for each pair of records by Jaccard and prune
+pairs whose similarity scores are below [tau]."  For small tables the naive
+quadratic scan is fine; for the ACMPub-scale dataset we use a prefix-filtered
+inverted-index similarity join — the standard technique behind the pruning
+step in the cited prior work (CrowdER et al.).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+
+from ..data.ground_truth import Pair
+from ..data.table import Table
+from ..exceptions import ConfigurationError
+from .edit import edit_distance_within
+from .jaccard import jaccard
+from .tokenize import qgram_tokens, word_tokens
+
+
+def _record_tokens(table: Table, use_qgrams: bool) -> list[frozenset[str]]:
+    if use_qgrams:
+        return [qgram_tokens(table.record_text(r.record_id)) for r in table]
+    return [word_tokens(table.record_text(r.record_id)) for r in table]
+
+
+def similar_pairs(
+    table: Table,
+    threshold: float,
+    tokens: str = "word",
+    method: str = "auto",
+) -> list[Pair]:
+    """All record pairs whose record-level Jaccard is ``>= threshold``.
+
+    Args:
+        table: the input table.
+        threshold: record-level Jaccard pruning bound ``tau`` (paper uses 0.3
+            on ACMPub and 0.2 elsewhere).
+        tokens: ``"word"`` (default) or ``"qgram"`` token sets.
+        method: ``"naive"`` forces the quadratic scan, ``"prefix"`` forces the
+            prefix-filter join, ``"auto"`` picks by table size.
+
+    Returns:
+        Canonically ordered pairs, sorted for determinism.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+    if tokens not in ("word", "qgram"):
+        raise ConfigurationError(f"tokens must be 'word' or 'qgram', got {tokens!r}")
+    if method == "auto":
+        method = "prefix" if len(table) > 1200 else "naive"
+    token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
+    if method == "naive":
+        pairs = _naive_join(token_sets, threshold)
+    elif method == "prefix":
+        pairs = _prefix_join(token_sets, threshold)
+    else:
+        raise ConfigurationError(f"unknown join method {method!r}")
+    return sorted(pairs)
+
+
+def _naive_join(token_sets: Sequence[frozenset[str]], threshold: float) -> set[Pair]:
+    pairs: set[Pair] = set()
+    n = len(token_sets)
+    for i in range(n):
+        tokens_i = token_sets[i]
+        for j in range(i + 1, n):
+            if jaccard(tokens_i, token_sets[j]) >= threshold:
+                pairs.add((i, j))
+    return pairs
+
+
+def _prefix_join(token_sets: Sequence[frozenset[str]], threshold: float) -> set[Pair]:
+    """Prefix-filtered self-join for Jaccard.
+
+    For Jaccard(a, b) >= t, the sets must share a token within the first
+    ``|a| - ceil(t * |a|) + 1`` tokens when both sets are ordered by a global
+    token order (rarest first).  We index those prefixes and verify only the
+    colliding pairs.
+    """
+    frequency: Counter[str] = Counter()
+    for tokens in token_sets:
+        frequency.update(tokens)
+    # Rarest-first global order; ties broken lexically for determinism.
+    order = {
+        token: rank
+        for rank, (token, _) in enumerate(
+            sorted(frequency.items(), key=lambda item: (item[1], item[0]))
+        )
+    }
+    sorted_tokens = [sorted(tokens, key=order.__getitem__) for tokens in token_sets]
+
+    index: dict[str, list[int]] = defaultdict(list)
+    pairs: set[Pair] = set()
+    for record_id, tokens in enumerate(sorted_tokens):
+        size = len(tokens)
+        if size == 0:
+            continue
+        prefix_len = size - math.ceil(threshold * size) + 1
+        candidates: set[int] = set()
+        for token in tokens[:prefix_len]:
+            candidates.update(index[token])
+            index[token].append(record_id)
+        my_set = token_sets[record_id]
+        for other in candidates:
+            other_set = token_sets[other]
+            # Length filter: |b| >= t * |a| is necessary for Jaccard >= t.
+            if len(other_set) < threshold * size or size < threshold * len(other_set):
+                continue
+            if jaccard(my_set, other_set) >= threshold:
+                pairs.add((other, record_id))
+    return pairs
+
+
+def similar_pairs_edit(
+    table: Table,
+    threshold: float,
+    prefilter_overlap: float = 0.05,
+) -> list[Pair]:
+    """Record pairs whose record-level *edit similarity* is ``>= threshold``.
+
+    Section 3.1 allows either Jaccard or edit similarity as the pruning
+    score.  Edit similarity on whole records is expensive, so candidates
+    are prefiltered: ``EDS(a, b) >= t`` bounds the length gap by
+    ``(1 - t) * max(|a|, |b|)``, and any surviving pair still shares tokens
+    unless the strings are short — the token prefilter (*prefilter_overlap*
+    record-level Jaccard) is intentionally loose and only exists to skip
+    hopeless pairs before the banded edit-distance verification.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+    texts = [table.record_text(record.record_id) for record in table]
+    lengths = [len(text) for text in texts]
+    candidates = (
+        _prefix_join(_record_tokens(table, use_qgrams=False), prefilter_overlap)
+        if prefilter_overlap > 0
+        else {(i, j) for i in range(len(table)) for j in range(i + 1, len(table))}
+    )
+    pairs: list[Pair] = []
+    for i, j in sorted(candidates):
+        longest = max(lengths[i], lengths[j])
+        if longest == 0:
+            pairs.append((i, j))
+            continue
+        max_distance = int((1.0 - threshold) * longest)
+        if abs(lengths[i] - lengths[j]) > max_distance:
+            continue
+        if edit_distance_within(texts[i], texts[j], max_distance) is not None:
+            pairs.append((i, j))
+    return pairs
+
+
+def top_k_pairs(table: Table, k: int, tokens: str = "word") -> list[tuple[float, Pair]]:
+    """The *k* most similar record pairs by record-level Jaccard.
+
+    A convenience for exploratory use and for tests that need a small, dense
+    pair set regardless of threshold tuning.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
+    heap: list[tuple[float, Pair]] = []
+    n = len(token_sets)
+    for i in range(n):
+        for j in range(i + 1, n):
+            score = jaccard(token_sets[i], token_sets[j])
+            if len(heap) < k:
+                heapq.heappush(heap, (score, (i, j)))
+            elif score > heap[0][0]:
+                heapq.heapreplace(heap, (score, (i, j)))
+    return sorted(heap, reverse=True)

@@ -1,0 +1,47 @@
+"""Tokenizers used by the similarity functions.
+
+The paper (Section 3.1) computes Jaccard similarity on word-token sets and
+"bigram Jaccard" on 2-gram sets (Section 7.1).  These helpers normalise the
+string once (lower-case, collapse whitespace) so that every similarity
+function in the package sees identical token streams.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize(text: str) -> str:
+    """Lower-case *text* and collapse runs of whitespace to single spaces."""
+    return " ".join(text.lower().split())
+
+
+@lru_cache(maxsize=1 << 16)
+def word_tokens(text: str) -> frozenset[str]:
+    """Return the set of alphanumeric word tokens of *text* (lower-cased).
+
+    Punctuation acts purely as a separator, matching the paper's treatment of
+    values such as ``"ritz-carlton restaurant (atlanta)"``.
+    """
+    return frozenset(_WORD_RE.findall(text.lower()))
+
+
+@lru_cache(maxsize=1 << 16)
+def qgram_tokens(text: str, q: int = 2) -> frozenset[str]:
+    """Return the set of *q*-grams (default bigrams) of the normalised text.
+
+    A *q*-gram is a length-``q`` substring.  Strings shorter than ``q`` yield
+    the whole string as a single token so that non-empty values never produce
+    an empty token set.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    norm = normalize(text)
+    if not norm:
+        return frozenset()
+    if len(norm) <= q:
+        return frozenset((norm,))
+    return frozenset(norm[i : i + q] for i in range(len(norm) - q + 1))

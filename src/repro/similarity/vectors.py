@@ -1,0 +1,121 @@
+"""Per-attribute similarity vectors (paper §3.1).
+
+Each candidate pair ``p_ij`` is described by an m-dimensional vector whose
+k-th component ``s_ij^k`` is the similarity of the two records on attribute
+``A_k``.  The partial order of §3.1 is defined on these vectors, so this
+module is the boundary between the string world and the graph world.
+
+Following the paper, components below the attribute threshold ``tau`` are
+clamped to 0 ("If s_ij^k < tau, we set s_ij^k = 0 for simplicity").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.ground_truth import Pair, canonical_pair
+from ..data.table import Table
+from ..exceptions import ConfigurationError
+from .edit import edit_similarity
+from .jaccard import bigram_jaccard, token_jaccard
+
+SimilarityFunction = Callable[[str, str], float]
+
+SIMILARITY_FUNCTIONS: dict[str, SimilarityFunction] = {
+    "jaccard": token_jaccard,
+    "edit": edit_similarity,
+    "bigram": bigram_jaccard,
+}
+
+
+def resolve_function(name: str) -> SimilarityFunction:
+    """Look up a similarity function by name; raise on unknown names."""
+    try:
+        return SIMILARITY_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(SIMILARITY_FUNCTIONS))
+        raise ConfigurationError(
+            f"unknown similarity function {name!r}; known functions: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """How to turn a record pair into a similarity vector.
+
+    Attributes:
+        functions: one similarity-function name per attribute.
+        attribute_threshold: per-attribute floor ``tau``; components below it
+            are clamped to 0, as in the paper's Table 2 (default 0.2).
+    """
+
+    functions: tuple[str, ...]
+    attribute_threshold: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ConfigurationError("need at least one attribute function")
+        for name in self.functions:
+            resolve_function(name)
+        if not 0.0 <= self.attribute_threshold <= 1.0:
+            raise ConfigurationError(
+                f"attribute_threshold must be in [0, 1], got {self.attribute_threshold}"
+            )
+
+    @classmethod
+    def uniform(
+        cls, num_attributes: int, function: str = "bigram", attribute_threshold: float = 0.2
+    ) -> "SimilarityConfig":
+        """Use the same similarity function on every attribute.
+
+        ``bigram`` is the paper's default (§7.1).
+        """
+        return cls(
+            functions=(function,) * num_attributes,
+            attribute_threshold=attribute_threshold,
+        )
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.functions)
+
+    def for_table(self, table: Table) -> "SimilarityConfig":
+        """Validate that this config matches the table's schema."""
+        if self.num_attributes != table.num_attributes:
+            raise ConfigurationError(
+                f"config has {self.num_attributes} attribute functions but table "
+                f"{table.name!r} has {table.num_attributes} attributes"
+            )
+        return self
+
+
+def attribute_similarities(
+    table: Table, pair: Pair, config: SimilarityConfig
+) -> tuple[float, ...]:
+    """The similarity vector of one pair, with sub-threshold clamping."""
+    i, j = canonical_pair(*pair)
+    record_i, record_j = table[i], table[j]
+    tau = config.attribute_threshold
+    vector = []
+    for k, name in enumerate(config.functions):
+        similarity = resolve_function(name)(record_i[k], record_j[k])
+        vector.append(similarity if similarity >= tau else 0.0)
+    return tuple(vector)
+
+
+def similarity_matrix(
+    table: Table, pairs: Sequence[Pair], config: SimilarityConfig
+) -> np.ndarray:
+    """Similarity vectors for many pairs as a ``(len(pairs), m)`` float array.
+
+    Row order follows *pairs*; this array is the vertex set of the
+    partial-order graph.
+    """
+    config.for_table(table)
+    matrix = np.empty((len(pairs), config.num_attributes), dtype=np.float64)
+    for row, pair in enumerate(pairs):
+        matrix[row] = attribute_similarities(table, pair, config)
+    return matrix

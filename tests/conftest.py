@@ -1,0 +1,74 @@
+"""Shared fixtures: the paper's running example and small synthetic tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from repro.data import paper_pairs, paper_table, paper_vectors, synthesize
+from repro.data.ground_truth import pair_truth
+from repro.data.perturb import LIGHT_PERTURBATIONS
+from repro.data.vocab import CITIES, CUISINES, RESTAURANT_NAME_HEADS
+from repro.similarity import SimilarityConfig, similar_pairs, similarity_matrix
+
+
+@pytest.fixture(scope="session")
+def paper():
+    """The paper's Table 1/2 bundle: table, pairs, vectors, truth."""
+    table = paper_table()
+    pairs = paper_pairs()
+    vectors = paper_vectors()
+    truth = pair_truth(table, pairs)
+    return table, pairs, vectors, truth
+
+
+def _tiny_entity(rng: np.random.Generator) -> tuple[str, str, str]:
+    name = RESTAURANT_NAME_HEADS[int(rng.integers(0, len(RESTAURANT_NAME_HEADS)))]
+    city = CITIES[int(rng.integers(0, len(CITIES)))]
+    cuisine = CUISINES[int(rng.integers(0, len(CUISINES)))]
+    return (f"{name} house", city, cuisine)
+
+
+@pytest.fixture(scope="session")
+def small_table():
+    """A 60-record / 35-entity table: big enough for non-trivial graphs,
+    small enough that every test stays fast."""
+    return synthesize(
+        name="small",
+        attributes=("name", "city", "cuisine"),
+        entity_factory=_tiny_entity,
+        num_entities=35,
+        num_records=60,
+        seed=99,
+        intensity=0.4,
+        pool=LIGHT_PERTURBATIONS,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bundle(small_table):
+    """(table, pairs, vectors, truth) for the small synthetic table."""
+    pairs = similar_pairs(small_table, 0.2)
+    config = SimilarityConfig.uniform(small_table.num_attributes)
+    vectors = similarity_matrix(small_table, pairs, config)
+    truth = pair_truth(small_table, pairs)
+    return small_table, pairs, vectors, truth
+
+
+@pytest.fixture()
+def oracle(small_bundle):
+    _, _, _, truth = small_bundle
+    return PerfectCrowd(truth)
+
+
+@pytest.fixture()
+def noisy_crowd(small_bundle):
+    _, _, _, truth = small_bundle
+    return SimulatedCrowd(truth, WorkerPool(accuracy_range="80", seed=5))
+
+
+def random_vectors(seed: int, n: int, m: int, levels: int = 4) -> np.ndarray:
+    """Discretised random similarity vectors (ties included on purpose)."""
+    rng = np.random.default_rng(seed)
+    return np.round(rng.random((n, m)) * levels) / levels

@@ -1,0 +1,166 @@
+"""Tests for the Trans, ACD, and GCER baseline resolvers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ACDResolver, GCERResolver, TransResolver, independent_batches
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def workload(small_bundle):
+    table, pairs, vectors, truth = small_bundle
+    scores = vectors.mean(axis=1)
+    return pairs, scores, truth
+
+
+class TestIndependentBatches:
+    def test_record_disjoint_within_batch(self):
+        pairs = [(0, 1), (1, 2), (2, 3), (4, 5)]
+        batches = independent_batches(pairs)
+        for batch in batches:
+            used = [r for pair in batch for r in pair]
+            assert len(used) == len(set(used))
+
+    def test_preserves_order_and_covers_all(self):
+        pairs = [(0, 1), (1, 2), (0, 2)]
+        batches = independent_batches(pairs)
+        flattened = [pair for batch in batches for pair in batch]
+        assert sorted(flattened) == sorted(pairs)
+        assert batches[0][0] == (0, 1)
+
+    def test_batch_limit(self):
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        batches = independent_batches(pairs, batch_limit=1)
+        assert all(len(batch) == 1 for batch in batches)
+
+
+class TestTrans:
+    def test_oracle_gives_perfect_labels(self, workload):
+        pairs, scores, truth = workload
+        result = TransResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.labels == truth
+
+    def test_transitivity_saves_questions(self):
+        """A clique of matching records needs only its spanning tree asked."""
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        scores = np.array([0.9, 0.8, 0.7])
+        truth = {pair: True for pair in pairs}
+        result = TransResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions == 2
+        assert result.labels == truth
+
+    def test_negative_transitivity_saves_questions(self):
+        """0=1 asked, 0!=2 asked, then 1!=2 is deduced."""
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        scores = np.array([0.9, 0.8, 0.7])
+        truth = {(0, 1): True, (0, 2): False, (1, 2): False}
+        result = TransResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions == 2
+        assert result.labels == truth
+
+    def test_asks_fewer_than_all_pairs(self, workload):
+        pairs, scores, truth = workload
+        result = TransResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions < len(pairs)
+
+    def test_parallel_batching_reduces_iterations(self, workload):
+        pairs, scores, truth = workload
+        result = TransResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.iterations < result.questions
+
+    def test_error_propagates(self):
+        """One wrong Yes merges clusters and corrupts deduced pairs —
+        the failure mode the paper attributes to Trans."""
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        scores = np.array([0.9, 0.8, 0.7])
+        truth = {(0, 1): True, (0, 2): False, (1, 2): False}
+
+        class LyingCrowd(PerfectCrowd):
+            def answer(self, pair):
+                outcome = super().answer(pair)
+                if pair == (0, 2):  # wrongly merge 0 and 2
+                    return type(outcome)(answer=True, confidence=1.0, votes=outcome.votes)
+                return outcome
+
+        result = TransResolver().run(pairs, scores, LyingCrowd(truth).session())
+        assert result.labels[(1, 2)] is True  # propagated error
+
+
+class TestACD:
+    def test_oracle_gives_perfect_labels(self, workload):
+        pairs, scores, truth = workload
+        result = ACDResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.labels == truth
+
+    def test_asks_more_than_trans(self, workload):
+        """ACD's verification redundancy costs questions (Fig. 10/13)."""
+        pairs, scores, truth = workload
+        session_factory = lambda: PerfectCrowd(truth).session()
+        trans = TransResolver().run(pairs, scores, session_factory())
+        acd = ACDResolver().run(pairs, scores, session_factory())
+        assert acd.questions >= trans.questions
+
+    def test_budget_respected(self, workload):
+        pairs, scores, truth = workload
+        result = ACDResolver(budget=10).run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions <= 10
+
+    def test_more_robust_than_trans_under_noise(self, workload):
+        pairs, scores, truth = workload
+
+        def accuracy(result):
+            return np.mean([truth[p] == v for p, v in result.labels.items()])
+
+        trans_scores, acd_scores = [], []
+        for seed in range(5):
+            crowd = SimulatedCrowd(truth, WorkerPool(accuracy_range="70", seed=seed))
+            trans_scores.append(accuracy(TransResolver().run(pairs, scores, crowd.session())))
+            acd_scores.append(accuracy(ACDResolver(seed=seed).run(pairs, scores, crowd.session())))
+        assert np.mean(acd_scores) >= np.mean(trans_scores) - 0.02
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ACDResolver(verify_per_record=-1)
+        with pytest.raises(ConfigurationError):
+            ACDResolver(refinement_rounds=-1)
+        with pytest.raises(ConfigurationError):
+            ACDResolver(budget=-5)
+
+
+class TestGCER:
+    def test_oracle_gives_perfect_labels(self, workload):
+        pairs, scores, truth = workload
+        result = GCERResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.labels == truth
+
+    def test_budget_respected(self, workload):
+        pairs, scores, truth = workload
+        result = GCERResolver(budget=7).run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions <= 7
+
+    def test_batch_size_bounds_iterations(self, workload):
+        pairs, scores, truth = workload
+        result = GCERResolver(batch_size=10).run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.iterations >= result.questions / 10
+
+    def test_unresolved_pairs_thresholded(self):
+        """With budget 0 nothing is asked; labels come from probabilities."""
+        pairs = [(0, 1), (2, 3)]
+        scores = np.array([0.9, 0.1])
+        truth = {(0, 1): True, (2, 3): False}
+        result = GCERResolver(budget=0).run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions == 0
+        assert result.labels == truth
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GCERResolver(budget=-1)
+        with pytest.raises(ConfigurationError):
+            GCERResolver(batch_size=0)
+
+    def test_score_shape_checked(self, workload):
+        pairs, _, truth = workload
+        with pytest.raises(ConfigurationError):
+            GCERResolver().run(pairs, np.array([0.5]), PerfectCrowd(truth).session())

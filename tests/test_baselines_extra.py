@@ -1,0 +1,99 @@
+"""Tests for the CrowdER and node-priority baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINES, CrowdERResolver, NodePriorityResolver
+from repro.crowd import PerfectCrowd
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def workload(small_bundle):
+    _, pairs, vectors, truth = small_bundle
+    return pairs, vectors.mean(axis=1), truth
+
+
+class TestCrowdER:
+    def test_oracle_gives_perfect_labels(self, workload):
+        pairs, scores, truth = workload
+        result = CrowdERResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.labels == truth
+
+    def test_asks_every_candidate_pair(self, workload):
+        pairs, scores, truth = workload
+        result = CrowdERResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert result.questions == len(pairs)
+
+    def test_hit_size_controls_iterations(self, workload):
+        pairs, scores, truth = workload
+        small = CrowdERResolver(pairs_per_hit=10).run(
+            pairs, scores, PerfectCrowd(truth).session()
+        )
+        large = CrowdERResolver(pairs_per_hit=100).run(
+            pairs, scores, PerfectCrowd(truth).session()
+        )
+        assert small.iterations > large.iterations
+        assert small.questions == large.questions
+
+    def test_invalid_hit_size(self):
+        with pytest.raises(ConfigurationError):
+            CrowdERResolver(pairs_per_hit=0)
+
+    def test_empty_pairs(self):
+        result = CrowdERResolver().run([], np.array([]), PerfectCrowd({}).session())
+        assert result.labels == {}
+
+
+class TestNodePriority:
+    def test_oracle_gives_perfect_labels(self, workload):
+        pairs, scores, truth = workload
+        result = NodePriorityResolver().run(
+            pairs, scores, PerfectCrowd(truth).session()
+        )
+        assert result.labels == truth
+
+    def test_saves_on_clusters(self):
+        """A clique of k matching records costs k-1 questions: each new
+        record asks the cluster once."""
+        records = [0, 1, 2, 3, 4]
+        pairs = [(i, j) for i in records for j in records if i < j]
+        scores = np.linspace(1.0, 0.5, len(pairs))
+        truth = {pair: True for pair in pairs}
+        result = NodePriorityResolver().run(
+            pairs, scores, PerfectCrowd(truth).session()
+        )
+        assert result.questions == len(records) - 1
+        assert result.labels == truth
+
+    def test_cluster_negative_probes_bounded(self):
+        """A record facing c candidate clusters asks each at most once."""
+        # Records 0..3 mutually candidates, all different entities.
+        pairs = [(i, j) for i in range(4) for j in range(4) if i < j]
+        scores = np.linspace(1.0, 0.5, len(pairs))
+        truth = {pair: False for pair in pairs}
+        result = NodePriorityResolver().run(
+            pairs, scores, PerfectCrowd(truth).session()
+        )
+        # Worst case: record k probes the k existing singleton clusters.
+        assert result.questions <= 3 + 2 + 1
+        assert result.labels == truth
+
+    def test_fewer_questions_than_crowder(self, workload):
+        pairs, scores, truth = workload
+        node = NodePriorityResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        crowder = CrowdERResolver().run(pairs, scores, PerfectCrowd(truth).session())
+        assert node.questions <= crowder.questions
+
+    def test_empty_pairs(self):
+        result = NodePriorityResolver().run(
+            [], np.array([]), PerfectCrowd({}).session()
+        )
+        assert result.labels == {}
+
+
+class TestRegistry:
+    def test_all_five_baselines_registered(self):
+        assert set(BASELINES) == {
+            "trans", "acd", "gcer", "crowder", "node-priority",
+        }

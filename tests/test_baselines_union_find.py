@@ -1,0 +1,98 @@
+"""Tests for union-find and constrained clusters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ConstrainedClusters, UnionFind
+from repro.exceptions import DataError
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        sets = UnionFind(3)
+        assert not sets.connected(0, 1)
+
+    def test_union_connects(self):
+        sets = UnionFind(4)
+        sets.union(0, 1)
+        sets.union(1, 2)
+        assert sets.connected(0, 2)
+        assert not sets.connected(0, 3)
+
+    def test_clusters(self):
+        sets = UnionFind(4)
+        sets.union(0, 2)
+        clusters = sets.clusters()
+        assert sorted(map(sorted, clusters.values())) == [[0, 2], [1], [3]]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DataError):
+            UnionFind(-1)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=30))
+    def test_matches_naive_connectivity(self, unions):
+        sets = UnionFind(15)
+        components = [{i} for i in range(15)]
+
+        def component_of(x):
+            for component in components:
+                if x in component:
+                    return component
+            raise AssertionError
+
+        for a, b in unions:
+            sets.union(a, b)
+            ca, cb = component_of(a), component_of(b)
+            if ca is not cb:
+                ca |= cb
+                components.remove(cb)
+        for a in range(15):
+            for b in range(15):
+                assert sets.connected(a, b) == (component_of(a) is component_of(b))
+
+
+class TestConstrainedClusters:
+    def test_yes_merges(self):
+        state = ConstrainedClusters(3)
+        state.record_yes(0, 1)
+        assert state.same(0, 1)
+        assert state.inferable((0, 1))
+
+    def test_no_constrains(self):
+        state = ConstrainedClusters(3)
+        state.record_no(0, 1)
+        assert state.different(0, 1)
+        assert not state.same(0, 1)
+
+    def test_transitive_negative(self):
+        """0=1 and 1!=2 implies 0!=2."""
+        state = ConstrainedClusters(3)
+        state.record_no(1, 2)
+        state.record_yes(0, 1)
+        assert state.different(0, 2)
+
+    def test_constraints_survive_merges_both_sides(self):
+        state = ConstrainedClusters(5)
+        state.record_no(0, 3)
+        state.record_yes(0, 1)
+        state.record_yes(3, 4)
+        assert state.different(1, 4)
+
+    def test_contradicting_no_after_yes_ignored(self):
+        state = ConstrainedClusters(2)
+        state.record_yes(0, 1)
+        state.record_no(0, 1)  # contradicts; positives win
+        assert state.same(0, 1)
+
+    def test_label_is_cluster_membership(self):
+        state = ConstrainedClusters(4)
+        state.record_yes(0, 1)
+        assert state.label((0, 1)) is True
+        assert state.label((2, 3)) is False
+
+    def test_uninformed_pair_not_inferable(self):
+        state = ConstrainedClusters(4)
+        state.record_yes(0, 1)
+        assert not state.inferable((2, 3))

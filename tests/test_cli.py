@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.data import Table, load_csv, save_csv
+
+
+@pytest.fixture()
+def small_csv(tmp_path, small_table):
+    path = tmp_path / "small.csv"
+    save_csv(small_table, path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_restaurant(self, tmp_path, capsys):
+        output = tmp_path / "r.csv"
+        assert main(["generate", "restaurant", str(output), "--seed", "2"]) == 0
+        table = load_csv(output)
+        assert len(table) == 858
+        assert "wrote 858 records" in capsys.readouterr().out
+
+    def test_generate_acmpub_scaled(self, tmp_path):
+        output = tmp_path / "a.csv"
+        assert main(["generate", "acmpub", str(output), "--scale", "0.01"]) == 0
+        assert len(load_csv(output)) == round(66_879 * 0.01)
+
+    def test_scale_rejected_for_restaurant(self, tmp_path, capsys):
+        output = tmp_path / "r.csv"
+        code = main(["generate", "restaurant", str(output), "--scale", "0.5"])
+        assert code == 2
+        assert "--scale" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_reports_shape(self, small_csv, capsys):
+        assert main(["stats", str(small_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "records   : 60" in out
+        assert "candidate pairs" in out
+        assert "partial order" in out
+
+
+class TestResolve:
+    def test_resolve_end_to_end(self, small_csv, tmp_path, capsys):
+        output = tmp_path / "clusters.csv"
+        code = main(
+            ["resolve", str(small_csv), "--band", "90", "--seed", "1",
+             "--output", str(output)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "questions" in out and "quality" in out
+        rows = output.read_text().strip().splitlines()
+        assert len(rows) == 61  # header + 60 records
+        assert rows[0].endswith("cluster_id")
+
+    def test_resolve_with_budget(self, small_csv, capsys):
+        code = main(
+            ["resolve", str(small_csv), "--budget", "10", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        questions = int(out.split("questions :")[1].splitlines()[0])
+        assert questions <= 10
+
+    def test_resolve_needs_ground_truth(self, tmp_path, capsys):
+        table = Table.from_rows("t", ("a",), [("x",), ("y",)])
+        path = tmp_path / "no_truth.csv"
+        save_csv(table, path)
+        assert main(["resolve", str(path)]) == 2
+        assert "entity_id" in capsys.readouterr().err
+
+    def test_resolve_no_error_tolerant(self, small_csv):
+        assert main(
+            ["resolve", str(small_csv), "--no-error-tolerant", "--seed", "2"]
+        ) == 0
+
+
+class TestExperiment:
+    def test_table2_runs(self, tmp_path, capsys):
+        save_to = tmp_path / "t2.txt"
+        assert main(["experiment", "table2", "--save-to", str(save_to)]) == 0
+        assert "Table 2" in capsys.readouterr().out
+        assert save_to.exists()
+
+    def test_registry_covers_all_figures(self):
+        names = set(EXPERIMENTS)
+        for required in ("table2", "table3", "fig09-11", "fig12-14", "fig15-17",
+                         "fig20", "fig21-22", "fig23-24", "fig25-26",
+                         "fig27-30", "fig31-33", "fig34"):
+            assert required in names

@@ -1,0 +1,53 @@
+"""Tests for pair-to-cluster conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import clusters_from_matches, clusters_to_matches
+from repro.exceptions import DataError
+
+
+class TestClustersFromMatches:
+    def test_connected_components(self):
+        clusters = clusters_from_matches(5, [(0, 1), (1, 2)])
+        assert clusters == [[0, 1, 2], [3], [4]]
+
+    def test_no_matches_all_singletons(self):
+        assert clusters_from_matches(3, []) == [[0], [1], [2]]
+
+    def test_out_of_range_match(self):
+        with pytest.raises(DataError):
+            clusters_from_matches(2, [(0, 5)])
+
+    def test_negative_num_records(self):
+        with pytest.raises(DataError):
+            clusters_from_matches(-1, [])
+
+
+class TestClustersToMatches:
+    def test_round_trip_closure(self):
+        matches = {(0, 1), (1, 2)}
+        clusters = clusters_from_matches(4, matches)
+        closure = clusters_to_matches(clusters)
+        assert closure == {(0, 1), (0, 2), (1, 2)}
+
+    def test_singletons_produce_nothing(self):
+        assert clusters_to_matches([[0], [1]]) == set()
+
+    @settings(max_examples=30)
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=12,
+        )
+    )
+    def test_closure_contains_original(self, matches):
+        clusters = clusters_from_matches(10, matches)
+        closure = clusters_to_matches(clusters)
+        canonical = {tuple(sorted(pair)) for pair in matches}
+        assert canonical <= closure
+        # Idempotence: clustering the closure changes nothing.
+        assert clusters_from_matches(10, closure) == clusters

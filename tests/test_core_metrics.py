@@ -1,0 +1,67 @@
+"""Tests for the pairwise quality metrics (§7.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pairwise_quality
+
+PAIRS = st.sets(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(lambda p: p[0] != p[1]),
+    max_size=15,
+)
+
+
+class TestPairwiseQuality:
+    def test_perfect_prediction(self):
+        gold = {(0, 1), (2, 3)}
+        report = pairwise_quality(gold, gold)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f_measure == 1.0
+
+    def test_half_precision(self):
+        report = pairwise_quality({(0, 1), (2, 3)}, {(0, 1)})
+        assert report.precision == 0.5
+        assert report.recall == 1.0
+        assert report.f_measure == pytest.approx(2 / 3)
+
+    def test_half_recall(self):
+        report = pairwise_quality({(0, 1)}, {(0, 1), (2, 3)})
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+
+    def test_empty_prediction(self):
+        report = pairwise_quality(set(), {(0, 1)})
+        assert report.precision == 1.0  # vacuous
+        assert report.recall == 0.0
+        assert report.f_measure == 0.0
+
+    def test_empty_gold(self):
+        report = pairwise_quality({(0, 1)}, set())
+        assert report.recall == 1.0
+        assert report.precision == 0.0
+
+    def test_orientation_insensitive(self):
+        report = pairwise_quality({(1, 0)}, {(0, 1)})
+        assert report.f_measure == 1.0
+
+    def test_counts(self):
+        report = pairwise_quality({(0, 1), (2, 3)}, {(0, 1), (4, 5)})
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+
+    def test_str_contains_scores(self):
+        text = str(pairwise_quality({(0, 1)}, {(0, 1)}))
+        assert "F1=1.000" in text
+
+    @settings(max_examples=50)
+    @given(PAIRS, PAIRS)
+    def test_metric_bounds(self, predicted, gold):
+        report = pairwise_quality(predicted, gold)
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.f_measure <= 1.0
+        # The harmonic mean is bounded by its arguments (up to float noise).
+        assert report.f_measure <= max(report.precision, report.recall) + 1e-9

@@ -1,0 +1,76 @@
+"""Tests for majority and weighted-majority vote aggregation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crowd import majority_vote, weighted_majority_vote
+from repro.exceptions import CrowdError
+
+
+class TestMajorityVote:
+    def test_unanimous_yes(self):
+        outcome = majority_vote([True] * 5)
+        assert outcome.answer is True
+        assert outcome.confidence == 1.0
+
+    def test_three_two_split(self):
+        outcome = majority_vote([True, True, True, False, False])
+        assert outcome.answer is True
+        assert outcome.confidence == pytest.approx(0.6)
+
+    def test_tie_resolves_to_no(self):
+        outcome = majority_vote([True, False])
+        assert outcome.answer is False
+        assert outcome.confidence == 0.5
+
+    def test_counts_exposed(self):
+        outcome = majority_vote([True, False, False])
+        assert outcome.num_yes == 1
+        assert outcome.num_no == 2
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(CrowdError):
+            majority_vote([])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=15))
+    def test_confidence_at_least_half(self, votes):
+        outcome = majority_vote(votes)
+        assert 0.5 <= outcome.confidence <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=15))
+    def test_answer_is_modal(self, votes):
+        outcome = majority_vote(votes)
+        yes = sum(votes)
+        if yes * 2 > len(votes):
+            assert outcome.answer is True
+        elif yes * 2 < len(votes):
+            assert outcome.answer is False
+
+
+class TestWeightedMajorityVote:
+    def test_weights_flip_the_answer(self):
+        votes = [True, False, False]
+        # Unweighted: No wins.  With a dominant first worker: Yes wins.
+        assert majority_vote(votes).answer is False
+        assert weighted_majority_vote(votes, [10.0, 1.0, 1.0]).answer is True
+
+    def test_confidence_is_weight_share(self):
+        outcome = weighted_majority_vote([True, False], [3.0, 1.0])
+        assert outcome.answer is True
+        assert outcome.confidence == pytest.approx(0.75)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(CrowdError):
+            weighted_majority_vote([True], [1.0, 2.0])
+
+    def test_zero_total_weight(self):
+        with pytest.raises(CrowdError):
+            weighted_majority_vote([True], [0.0])
+
+    def test_uniform_weights_match_majority(self):
+        votes = [True, True, False, False, True]
+        assert (
+            weighted_majority_vote(votes, [1.0] * 5).answer
+            == majority_vote(votes).answer
+        )

@@ -1,0 +1,96 @@
+"""Tests for question-to-worker assignment policies."""
+
+import pytest
+
+from repro.crowd import (
+    AssigningCrowd,
+    BestWorkerAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+    WorkerPool,
+)
+from repro.crowd.quality import estimate_accuracy_from_gold
+from repro.exceptions import ConfigurationError
+
+TRUTH = {(i, i + 1): bool(i % 4 == 0) for i in range(0, 600, 2)}
+GOLD = {(10_000 + i, 10_001 + i): bool(i % 2) for i in range(0, 60, 2)}
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return WorkerPool(size=30, accuracy_range=(0.55, 0.98), seed=3)
+
+
+@pytest.fixture(scope="module")
+def estimates(pool):
+    return {w.worker_id: estimate_accuracy_from_gold(w, GOLD) for w in pool.workers}
+
+
+class TestRoundRobin:
+    def test_even_load(self, pool):
+        policy = RoundRobinAssignment()
+        loads = {}
+        for i in range(0, 60, 2):
+            for worker in policy.assign(pool, (i, i + 1), 5):
+                loads[worker.worker_id] = loads.get(worker.worker_id, 0) + 1
+        assert max(loads.values()) == min(loads.values())  # 150 / 30 = 5 each
+
+    def test_distinct_within_question(self, pool):
+        workers = RoundRobinAssignment().assign(pool, (0, 1), 5)
+        assert len({w.worker_id for w in workers}) == 5
+
+    def test_oversized_request(self, pool):
+        with pytest.raises(ConfigurationError):
+            RoundRobinAssignment().assign(pool, (0, 1), 31)
+
+
+class TestBestWorker:
+    def test_prefers_accurate_workers(self, pool, estimates):
+        policy = BestWorkerAssignment(estimates, max_load_share=1.0)
+        chosen = policy.assign(pool, (0, 1), 5)
+        best_ids = sorted(estimates, key=estimates.get, reverse=True)[:5]
+        assert sorted(w.worker_id for w in chosen) == sorted(best_ids)
+
+    def test_load_cap_diversifies(self, pool, estimates):
+        policy = BestWorkerAssignment(estimates, max_load_share=0.1)
+        used = {}
+        total = 0
+        for i in range(0, 200, 2):
+            for worker in policy.assign(pool, (i, i + 1), 5):
+                used[worker.worker_id] = used.get(worker.worker_id, 0) + 1
+            total += 5
+        # A 10% cap needs at least ten workers to carry the load, and no
+        # worker may meaningfully exceed its share (small burst slack).
+        assert len(used) >= 10
+        assert max(used.values()) / total <= 0.15
+
+    def test_validation(self, estimates):
+        with pytest.raises(ConfigurationError):
+            BestWorkerAssignment({})
+        with pytest.raises(ConfigurationError):
+            BestWorkerAssignment(estimates, max_load_share=0.0)
+
+
+class TestAssigningCrowd:
+    def accuracy(self, crowd):
+        return sum(crowd.answer(p).answer == t for p, t in TRUTH.items()) / len(TRUTH)
+
+    def test_best_assignment_beats_random(self, pool, estimates):
+        random_crowd = AssigningCrowd(TRUTH, pool, RandomAssignment())
+        best_crowd = AssigningCrowd(
+            TRUTH, pool, BestWorkerAssignment(estimates, max_load_share=0.4)
+        )
+        assert self.accuracy(best_crowd) > self.accuracy(random_crowd)
+
+    def test_random_policy_matches_default_platform(self, pool):
+        from repro.crowd import SimulatedCrowd
+
+        policy_crowd = AssigningCrowd(TRUTH, pool, RandomAssignment())
+        default_crowd = SimulatedCrowd(TRUTH, pool)
+        for pair in list(TRUTH)[:30]:
+            assert policy_crowd.answer(pair) == default_crowd.answer(pair)
+
+    def test_answers_cached(self, pool):
+        crowd = AssigningCrowd(TRUTH, pool, RoundRobinAssignment())
+        pair = next(iter(TRUTH))
+        assert crowd.answer(pair) is crowd.answer(pair)

@@ -1,0 +1,87 @@
+"""Tests for the crowd latency model."""
+
+import pytest
+
+from repro.crowd import PerfectCrowd
+from repro.crowd.latency import LatencyModel
+from repro.exceptions import ConfigurationError
+
+
+class TestBatchSeconds:
+    def test_empty_batch_free(self):
+        assert LatencyModel().batch_seconds(0) == 0.0
+
+    def test_single_wave(self):
+        # 5 questions x 5 assignments = 25 = exactly the worker pool.
+        model = LatencyModel(concurrent_workers=25, seconds_per_answer=30,
+                             round_overhead_seconds=120, assignments=5)
+        assert model.batch_seconds(5) == 120 + 30
+
+    def test_multiple_waves(self):
+        model = LatencyModel(concurrent_workers=25, seconds_per_answer=30,
+                             round_overhead_seconds=120, assignments=5)
+        assert model.batch_seconds(6) == 120 + 2 * 30  # 30 assignments -> 2 waves
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().batch_seconds(-1)
+
+
+class TestEstimates:
+    def test_serial_dominated_by_overhead(self):
+        """100 one-question rounds cost ~100 overheads; one 100-question
+        round costs one overhead plus throughput — far less."""
+        model = LatencyModel()
+        serial = model.estimate_seconds([1] * 100)
+        parallel = model.estimate_seconds([100])
+        assert serial > 5 * parallel
+
+    def test_uniform_matches_exact_for_equal_batches(self):
+        model = LatencyModel()
+        exact = model.estimate_seconds([10, 10, 10])
+        uniform = model.estimate_uniform(questions=30, iterations=3)
+        assert exact == pytest.approx(uniform)
+
+    def test_zero_iterations(self):
+        assert LatencyModel().estimate_uniform(0, 0) == 0.0
+
+    def test_invalid_totals(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().estimate_uniform(-1, 2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(concurrent_workers=0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(seconds_per_answer=0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(round_overhead_seconds=-1)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(assignments=0)
+
+
+class TestSessionIntegration:
+    def test_sessions_record_batch_sizes(self):
+        truth = {(0, 1): True, (2, 3): False, (4, 5): True}
+        session = PerfectCrowd(truth).session()
+        session.ask_batch([(0, 1), (2, 3)])
+        session.ask((4, 5))
+        assert session.batch_sizes == [2, 1]
+
+    def test_selector_latency_ranking(self, small_bundle):
+        """Power's few fat rounds beat SinglePath's many thin ones on the
+        modeled wall clock, mirroring the paper's iteration argument."""
+        from repro.graph import PairGraph
+        from repro.selection import SinglePathSelector, TopoSortSelector
+
+        _, pairs, vectors, truth = small_bundle
+        graph = PairGraph(pairs, vectors)
+        model = LatencyModel()
+        crowd = PerfectCrowd(truth)
+        serial_session = crowd.session()
+        SinglePathSelector().run(graph, serial_session)
+        parallel_session = crowd.session()
+        TopoSortSelector().run(graph, parallel_session)
+        assert model.estimate_seconds(parallel_session.batch_sizes) < (
+            model.estimate_seconds(serial_session.batch_sizes)
+        )

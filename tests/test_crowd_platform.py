@@ -1,0 +1,129 @@
+"""Tests for the simulated platform, sessions, and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool, ambiguity_difficulty
+from repro.exceptions import ConfigurationError, CrowdError
+
+TRUTH = {(0, 1): True, (0, 2): False, (1, 2): False, (3, 4): True}
+
+
+class TestSimulatedCrowd:
+    def test_answers_cached_across_sessions(self):
+        crowd = SimulatedCrowd(TRUTH, WorkerPool(accuracy_range="70", seed=1))
+        first = crowd.answer((0, 1))
+        second = crowd.answer((0, 1))
+        assert first is second
+
+    def test_same_answer_for_both_orientations(self):
+        crowd = SimulatedCrowd(TRUTH, WorkerPool(seed=1))
+        assert crowd.answer((1, 0)) is crowd.answer((0, 1))
+
+    def test_unknown_pair_raises(self):
+        crowd = SimulatedCrowd(TRUTH)
+        with pytest.raises(CrowdError):
+            crowd.answer((7, 8))
+
+    def test_high_accuracy_pool_mostly_correct(self):
+        crowd = SimulatedCrowd(TRUTH, WorkerPool(accuracy_range=(0.99, 1.0), seed=2))
+        for pair, truth in TRUTH.items():
+            assert crowd.answer(pair).answer == truth
+
+    def test_votes_have_assignment_size(self):
+        crowd = SimulatedCrowd(TRUTH, assignments=7)
+        assert len(crowd.answer((0, 1)).votes) == 7
+
+    def test_invalid_assignments(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedCrowd(TRUTH, assignments=0)
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedCrowd(TRUTH, aggregation="mean")
+
+    def test_difficulty_mapping_reduces_errors(self):
+        truth = {(i, i + 1): True for i in range(0, 600, 2)}
+        pool = WorkerPool(accuracy_range="70", seed=3)
+        uniform = SimulatedCrowd(truth, pool)
+        easy = SimulatedCrowd(
+            truth, pool, difficulty={pair: 0.05 for pair in truth}
+        )
+        uniform_wrong = sum(uniform.answer(p).answer != truth[p] for p in truth)
+        easy_wrong = sum(easy.answer(p).answer != truth[p] for p in truth)
+        assert easy_wrong < uniform_wrong
+
+
+class TestPerfectCrowd:
+    def test_always_truth_with_full_confidence(self):
+        crowd = PerfectCrowd(TRUTH)
+        for pair, truth in TRUTH.items():
+            outcome = crowd.answer(pair)
+            assert outcome.answer == truth
+            assert outcome.confidence == 1.0
+
+    def test_unknown_pair_still_raises(self):
+        with pytest.raises(CrowdError):
+            PerfectCrowd(TRUTH).answer((9, 10))
+
+
+class TestCrowdSession:
+    def test_question_and_iteration_accounting(self):
+        session = PerfectCrowd(TRUTH).session()
+        session.ask_batch([(0, 1), (0, 2)])
+        session.ask((1, 2))
+        assert session.questions_asked == 3
+        assert session.iterations == 2
+
+    def test_reask_not_billed(self):
+        session = PerfectCrowd(TRUTH).session()
+        session.ask((0, 1))
+        session.ask((0, 1))
+        assert session.questions_asked == 1
+        assert session.iterations == 2  # still two round trips
+
+    def test_empty_batch_is_free(self):
+        session = PerfectCrowd(TRUTH).session()
+        assert session.ask_batch([]) == {}
+        assert session.iterations == 0
+
+    def test_cost_model(self):
+        # 10 pairs per HIT, 10 cents per HIT, 5 assignments:
+        # 3 questions -> 1 HIT x 5 workers -> 50 cents.
+        session = PerfectCrowd(TRUTH).session(pairs_per_hit=10, cents_per_hit=10)
+        session.ask_batch([(0, 1), (0, 2), (1, 2)])
+        assert session.hits == 5
+        assert session.cost_cents == 50
+
+    def test_cost_rounds_up_per_hit(self):
+        truth = {(i, i + 1): True for i in range(0, 30, 2)}
+        session = PerfectCrowd(truth).session(pairs_per_hit=10, cents_per_hit=10)
+        session.ask_batch(list(truth)[:11])
+        assert session.hits == 2 * 5
+
+    def test_zero_questions_zero_cost(self):
+        session = PerfectCrowd(TRUTH).session()
+        assert session.cost_cents == 0
+
+    def test_invalid_pricing(self):
+        crowd = PerfectCrowd(TRUTH)
+        with pytest.raises(ConfigurationError):
+            crowd.session(pairs_per_hit=0)
+        with pytest.raises(ConfigurationError):
+            crowd.session(cents_per_hit=-1)
+
+    def test_sessions_share_platform_answers(self):
+        crowd = SimulatedCrowd(TRUTH, WorkerPool(accuracy_range="70", seed=9))
+        a = crowd.session().ask((0, 1))
+        b = crowd.session().ask((0, 1))
+        assert a == b
+
+
+class TestAmbiguityDifficulty:
+    def test_extremes_are_easy(self):
+        vectors = np.array([[1.0, 1.0], [0.0, 0.0], [0.5, 0.5]])
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        difficulty = ambiguity_difficulty(vectors, pairs, floor=0.1, peak=1.0)
+        assert difficulty[(0, 1)] == pytest.approx(0.1)
+        assert difficulty[(2, 3)] == pytest.approx(0.1)
+        assert difficulty[(4, 5)] == pytest.approx(1.0)

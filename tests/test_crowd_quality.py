@@ -1,0 +1,130 @@
+"""Tests for worker-quality estimation and quality-aware aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import SimulatedCrowd, Worker, WorkerPool
+from repro.crowd.quality import (
+    DawidSkeneEstimator,
+    QualityAwareCrowd,
+    estimate_accuracy_from_gold,
+)
+from repro.exceptions import ConfigurationError, CrowdError
+
+GOLD = {(1000 + i, 1001 + i): bool(i % 2) for i in range(0, 120, 2)}
+
+
+def collect_votes(pool, truth, assignments=5):
+    votes = {}
+    for pair, answer in truth.items():
+        workers = pool.assign(pair, assignments)
+        votes[pair] = [(w.worker_id, w.answer(pair, answer)) for w in workers]
+    return votes
+
+
+class TestGoldEstimation:
+    def test_perfect_worker_high_estimate(self):
+        worker = Worker(worker_id=0, accuracy=1.0, seed=0)
+        estimate = estimate_accuracy_from_gold(worker, GOLD)
+        assert estimate > 0.95
+
+    def test_estimate_tracks_true_accuracy(self):
+        for accuracy in (0.6, 0.75, 0.9):
+            worker = Worker(worker_id=1, accuracy=accuracy, seed=7)
+            estimate = estimate_accuracy_from_gold(worker, GOLD)
+            assert abs(estimate - accuracy) < 0.15
+
+    def test_smoothing_keeps_estimates_interior(self):
+        worker = Worker(worker_id=0, accuracy=1.0, seed=0)
+        estimate = estimate_accuracy_from_gold(worker, {(0, 1): True})
+        assert 0.0 < estimate < 1.0
+
+    def test_negative_smoothing_rejected(self):
+        worker = Worker(worker_id=0, accuracy=0.9, seed=0)
+        with pytest.raises(ConfigurationError):
+            estimate_accuracy_from_gold(worker, GOLD, smoothing=-1)
+
+
+class TestDawidSkene:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        pool = WorkerPool(size=25, accuracy_range=(0.55, 0.95), seed=3)
+        truth = {(i, i + 1): bool(i % 4 == 0) for i in range(0, 800, 2)}
+        votes = collect_votes(pool, truth)
+        return pool, truth, votes
+
+    def test_accuracy_estimates_close_to_truth(self, setup):
+        pool, _, votes = setup
+        result = DawidSkeneEstimator(prior_yes=0.25).estimate(votes)
+        true_accuracy = {w.worker_id: w.accuracy for w in pool.workers}
+        errors = [
+            abs(result.accuracies[w] - true_accuracy[w]) for w in result.accuracies
+        ]
+        assert np.mean(errors) < 0.1
+
+    def test_posteriors_classify_well(self, setup):
+        _, truth, votes = setup
+        result = DawidSkeneEstimator(prior_yes=0.25).estimate(votes)
+        correct = sum(
+            (result.posteriors[pair] > 0.5) == answer for pair, answer in truth.items()
+        )
+        assert correct / len(truth) > 0.8
+
+    def test_posteriors_are_probabilities(self, setup):
+        _, _, votes = setup
+        result = DawidSkeneEstimator().estimate(votes)
+        assert all(0.0 <= p <= 1.0 for p in result.posteriors.values())
+
+    def test_converges(self, setup):
+        _, _, votes = setup
+        result = DawidSkeneEstimator(max_iterations=200).estimate(votes)
+        assert result.iterations < 200
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(CrowdError):
+            DawidSkeneEstimator().estimate({})
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            DawidSkeneEstimator(prior_yes=0.0)
+        with pytest.raises(ConfigurationError):
+            DawidSkeneEstimator(max_iterations=0)
+
+
+class TestQualityAwareCrowd:
+    @pytest.fixture(scope="class")
+    def truth(self):
+        return {(i, i + 1): bool(i % 4 == 0) for i in range(0, 1000, 2)}
+
+    def test_beats_unweighted_majority_with_mixed_pool(self, truth):
+        """With a pool mixing near-random and expert workers, log-odds
+        weighting by estimated accuracy should beat flat majority."""
+        pool = WorkerPool(size=30, accuracy_range=(0.5, 1.0), seed=11)
+        aware = QualityAwareCrowd(truth, pool, gold=GOLD)
+        majority = SimulatedCrowd(truth, pool, aggregation="majority")
+        aware_correct = sum(aware.answer(p).answer == t for p, t in truth.items())
+        majority_correct = sum(
+            majority.answer(p).answer == t for p, t in truth.items()
+        )
+        assert aware_correct >= majority_correct
+
+    def test_confidence_in_valid_range(self, truth):
+        pool = WorkerPool(size=10, seed=0)
+        aware = QualityAwareCrowd(truth, pool, gold=GOLD)
+        outcome = aware.answer(next(iter(truth)))
+        assert 0.5 <= outcome.confidence <= 1.0
+
+    def test_answers_cached(self, truth):
+        pool = WorkerPool(size=10, seed=0)
+        aware = QualityAwareCrowd(truth, pool, gold=GOLD)
+        pair = next(iter(truth))
+        assert aware.answer(pair) is aware.answer(pair)
+
+    def test_requires_gold(self, truth):
+        with pytest.raises(ConfigurationError):
+            QualityAwareCrowd(truth, WorkerPool(size=5), gold={})
+
+    def test_unknown_pair_raises(self, truth):
+        aware = QualityAwareCrowd(truth, WorkerPool(size=10), gold=GOLD)
+        with pytest.raises(CrowdError):
+            aware.answer((99_991, 99_992))

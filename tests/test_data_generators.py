@@ -1,0 +1,137 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import acmpub, cora, load_dataset, num_entities, restaurant, synthesize, true_match_pairs
+from repro.data.generators import _cluster_sizes
+from repro.data.perturb import LIGHT_PERTURBATIONS
+from repro.exceptions import ConfigurationError
+
+
+class TestClusterSizes:
+    def test_totals(self):
+        rng = np.random.default_rng(0)
+        sizes = _cluster_sizes(10, 25, rng, skew=0.5)
+        assert len(sizes) == 10
+        assert sum(sizes) == 25
+        assert min(sizes) >= 1
+
+    def test_records_equal_entities(self):
+        rng = np.random.default_rng(0)
+        assert _cluster_sizes(5, 5, rng, skew=0.0) == [1] * 5
+
+    def test_skew_produces_long_tail(self):
+        rng = np.random.default_rng(1)
+        flat = _cluster_sizes(50, 300, np.random.default_rng(1), skew=0.0)
+        skewed = _cluster_sizes(50, 300, rng, skew=1.0)
+        assert max(skewed) > max(flat)
+
+    def test_invalid_shapes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            _cluster_sizes(0, 5, rng, 0.0)
+        with pytest.raises(ConfigurationError):
+            _cluster_sizes(10, 5, rng, 0.0)
+
+
+class TestGenerators:
+    def test_restaurant_shape(self):
+        table = restaurant()
+        assert len(table) == 858
+        assert num_entities(table) == 752
+        assert table.num_attributes == 4
+
+    def test_cora_shape(self):
+        table = cora()
+        assert len(table) == 997
+        assert num_entities(table) == 191
+        assert table.num_attributes == 8
+
+    def test_acmpub_scales(self):
+        table = acmpub(scale=0.01)
+        assert len(table) == round(66_879 * 0.01)
+        assert num_entities(table) == round(5_347 * 0.01)
+        assert table.num_attributes == 4
+
+    def test_acmpub_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            acmpub(scale=0.0)
+
+    def test_determinism(self):
+        a, b = restaurant(seed=3), restaurant(seed=3)
+        assert [r.values for r in a] == [r.values for r in b]
+
+    def test_different_seeds_differ(self):
+        a, b = restaurant(seed=3), restaurant(seed=4)
+        assert [r.values for r in a] != [r.values for r in b]
+
+    def test_no_empty_values(self):
+        for record in cora(seed=2):
+            assert all(value.strip() for value in record.values)
+
+    def test_duplicates_share_entity(self):
+        table = restaurant(seed=5)
+        assert len(true_match_pairs(table)) >= len(table) - num_entities(table)
+
+    def test_load_dataset_by_name(self):
+        assert load_dataset("restaurant").name == "restaurant"
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("imaginary")
+
+
+class TestSynthesize:
+    def test_factory_arity_checked(self):
+        with pytest.raises(ConfigurationError):
+            synthesize(
+                name="bad",
+                attributes=("a", "b"),
+                entity_factory=lambda rng: ("only-one",),
+                num_entities=2,
+                num_records=2,
+                seed=0,
+            )
+
+    def test_keep_first_clean(self):
+        table = synthesize(
+            name="t",
+            attributes=("a",),
+            entity_factory=lambda rng: (f"value {int(rng.integers(0, 10_000))}",),
+            num_entities=5,
+            num_records=15,
+            seed=1,
+            intensity=0.9,
+            pool=LIGHT_PERTURBATIONS,
+        )
+        # Every entity retains one pristine record.
+        by_entity = {}
+        for record in table:
+            by_entity.setdefault(record.entity_id, []).append(record.values[0])
+        assert len(by_entity) == 5
+        assert sum(len(v) for v in by_entity.values()) == 15
+
+
+class TestProducts:
+    def test_shape(self):
+        from repro.data import products
+
+        table = products()
+        assert len(table) == 540
+        assert num_entities(table) == 400
+        assert table.attributes == ("title", "brand", "category", "price")
+
+    def test_registered_in_datasets(self):
+        from repro.data import DATASETS
+
+        assert "products" in DATASETS
+        assert load_dataset("products", num_entities=20, num_records=30).name == "products"
+
+    def test_resolvable_end_to_end(self):
+        from repro import PowerConfig, PowerResolver
+        from repro.data import products
+
+        table = products(num_entities=40, num_records=60, seed=3)
+        result = PowerResolver(PowerConfig(seed=3)).resolve(table, worker_band="90")
+        assert result.quality.f_measure > 0.7

@@ -1,0 +1,58 @@
+"""Tests for CSV round-trip."""
+
+import pytest
+
+from repro.data import Table, load_csv, save_csv
+from repro.exceptions import DataError
+
+
+class TestRoundTrip:
+    def test_with_ground_truth(self, tmp_path):
+        table = Table.from_rows(
+            "t", ("a", "b"), [("x", "1"), ("y", "2")], entity_ids=[3, 4]
+        )
+        path = tmp_path / "t.csv"
+        save_csv(table, path)
+        loaded = load_csv(path)
+        assert loaded.attributes == ("a", "b")
+        assert [r.values for r in loaded] == [("x", "1"), ("y", "2")]
+        assert [r.entity_id for r in loaded] == [3, 4]
+
+    def test_without_ground_truth(self, tmp_path):
+        table = Table.from_rows("t", ("a",), [("x",)])
+        path = tmp_path / "t.csv"
+        save_csv(table, path)
+        loaded = load_csv(path)
+        assert not loaded.has_ground_truth()
+
+    def test_values_with_commas_and_quotes(self, tmp_path):
+        table = Table.from_rows("t", ("a",), [('he said "hi", twice',)], entity_ids=[0])
+        path = tmp_path / "t.csv"
+        save_csv(table, path)
+        assert load_csv(path)[0].values == ('he said "hi", twice',)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        table = Table.from_rows("x", ("a",), [("v",)])
+        path = tmp_path / "mydata.csv"
+        save_csv(table, path)
+        assert load_csv(path).name == "mydata"
+
+
+class TestLoadErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\nx\n")
+        with pytest.raises(DataError, match="expected 2 columns"):
+            load_csv(path)
+
+    def test_non_integer_entity_id(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,entity_id\nx,notanumber\n")
+        with pytest.raises(DataError, match="not an integer"):
+            load_csv(path)

@@ -1,0 +1,98 @@
+"""Tests for the string-perturbation library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.perturb import (
+    HEAVY_PERTURBATIONS,
+    LIGHT_PERTURBATIONS,
+    abbreviate,
+    append_qualifier,
+    drop_token,
+    initialize_first_token,
+    parenthesize_token,
+    perturb,
+    strip_punctuation,
+    swap_tokens,
+    truncate,
+    typo,
+)
+
+WORDS = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1, max_size=5
+).map(" ".join)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestIndividualPerturbations:
+    def test_typo_changes_length_by_at_most_one(self):
+        for seed in range(20):
+            out = typo("restaurant", rng(seed))
+            assert abs(len(out) - len("restaurant")) <= 1
+
+    def test_typo_leaves_single_char_alone(self):
+        assert typo("a", rng()) == "a"
+
+    def test_drop_token_removes_one(self):
+        out = drop_token("a b c", rng())
+        assert len(out.split()) == 2
+
+    def test_drop_token_never_empties(self):
+        assert drop_token("alone", rng()) == "alone"
+
+    def test_parenthesize_last_token(self):
+        assert parenthesize_token("cafe ritz buckhead", rng()) == "cafe ritz (buckhead)"
+
+    def test_parenthesize_single_token_noop(self):
+        assert parenthesize_token("cafe", rng()) == "cafe"
+
+    def test_strip_punctuation(self):
+        assert strip_punctuation("a.b,(c)'d&e", rng()) == "abcde"
+
+    def test_abbreviate_known_form(self):
+        assert abbreviate("main street", rng()) == "main st."
+
+    def test_abbreviate_no_candidates(self):
+        assert abbreviate("xyzzy", rng()) == "xyzzy"
+
+    def test_swap_tokens(self):
+        out = swap_tokens("a b", rng())
+        assert out == "b a"
+
+    def test_initialize_first_token(self):
+        assert initialize_first_token("john smith", rng()) == "j. smith"
+
+    def test_append_qualifier_adds_token(self):
+        out = append_qualifier("cafe", rng())
+        assert out.startswith("cafe ") and len(out.split()) == 2
+
+    def test_truncate_keeps_prefix(self):
+        out = truncate("a b c d", rng())
+        assert "a b c d".startswith(out)
+        assert len(out.split()) >= 1
+
+
+class TestPerturb:
+    def test_zero_intensity_is_identity(self):
+        assert perturb("anything here", rng(), intensity=0.0) == "anything here"
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValueError):
+            perturb("x", rng(), intensity=1.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(WORDS, st.integers(min_value=0, max_value=1000))
+    def test_never_returns_empty(self, text, seed):
+        for pool in (LIGHT_PERTURBATIONS, HEAVY_PERTURBATIONS):
+            out = perturb(text, rng(seed), intensity=1.0, pool=pool)
+            assert out.strip()
+
+    def test_deterministic_under_seed(self):
+        a = perturb("some text here", rng(42), intensity=0.8)
+        b = perturb("some text here", rng(42), intensity=0.8)
+        assert a == b

@@ -1,0 +1,64 @@
+"""Tests for the record/table model."""
+
+import pytest
+
+from repro.data import Record, Table
+from repro.exceptions import DataError
+
+
+class TestTable:
+    def test_from_rows_assigns_ids(self):
+        table = Table.from_rows("t", ("a",), [("x",), ("y",)])
+        assert [record.record_id for record in table] == [0, 1]
+
+    def test_entity_ids_attach(self):
+        table = Table.from_rows("t", ("a",), [("x",), ("y",)], entity_ids=[5, 5])
+        assert table[0].entity_id == 5
+        assert table.has_ground_truth()
+
+    def test_missing_entity_ids(self):
+        table = Table.from_rows("t", ("a",), [("x",)])
+        assert not table.has_ground_truth()
+
+    def test_append_validates_arity(self):
+        table = Table(name="t", attributes=("a", "b"))
+        with pytest.raises(DataError):
+            table.append(("only-one",))
+
+    def test_wrong_record_id_rejected(self):
+        with pytest.raises(DataError):
+            Table(name="t", attributes=("a",), records=[Record(5, ("x",))])
+
+    def test_record_text_joins_values(self):
+        table = Table.from_rows("t", ("a", "b"), [("x", "y")])
+        assert table.record_text(0) == "x y"
+
+    def test_len_and_getitem(self):
+        table = Table.from_rows("t", ("a",), [("x",), ("y",)])
+        assert len(table) == 2
+        assert table[1].values == ("y",)
+
+    def test_record_indexing(self):
+        record = Record(0, ("x", "y"))
+        assert record[1] == "y"
+
+
+class TestProjection:
+    def test_project_keeps_columns_and_truth(self):
+        table = Table.from_rows(
+            "t", ("a", "b", "c"), [("1", "2", "3"), ("4", "5", "6")], entity_ids=[0, 1]
+        )
+        projected = table.project([2, 0])
+        assert projected.attributes == ("c", "a")
+        assert projected[0].values == ("3", "1")
+        assert projected[1].entity_id == 1
+
+    def test_project_empty_rejected(self):
+        table = Table.from_rows("t", ("a",), [("x",)])
+        with pytest.raises(DataError):
+            table.project([])
+
+    def test_project_out_of_range(self):
+        table = Table.from_rows("t", ("a",), [("x",)])
+        with pytest.raises(DataError):
+            table.project([3])

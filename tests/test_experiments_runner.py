@@ -1,0 +1,133 @@
+"""Tests for the experiment runner and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    METHODS,
+    MethodRow,
+    average_rows,
+    compare_methods,
+    format_table,
+    make_crowd,
+    prepare,
+    run_method,
+)
+from repro.experiments.reporting import emit
+
+
+class TestPrepare:
+    def test_workload_shape(self):
+        workload = prepare("restaurant")
+        assert len(workload.pairs) == len(workload.truth)
+        assert workload.vectors.shape == (len(workload.pairs), 4)
+        assert workload.scores.shape == (len(workload.pairs),)
+
+    def test_caching_returns_same_object(self):
+        assert prepare("restaurant") is prepare("restaurant")
+
+    def test_max_pairs_keeps_most_similar(self):
+        full = prepare("restaurant")
+        capped = prepare("restaurant", max_pairs=100)
+        assert len(capped.pairs) == 100
+        assert capped.scores.min() >= np.sort(full.scores)[-100] - 1e-12
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            prepare("imaginary")
+
+    def test_similarity_variant_changes_vectors(self):
+        bigram = prepare("restaurant")
+        edit = prepare("restaurant", similarity="edit")
+        assert not np.allclose(bigram.vectors, edit.vectors)
+
+
+class TestMakeCrowd:
+    def test_modes(self):
+        workload = prepare("restaurant", max_pairs=50)
+        sim = make_crowd(workload, "90", 0, mode="simulation")
+        real = make_crowd(workload, "90", 0, mode="real")
+        assert sim.difficulty is None
+        assert real.difficulty is not None
+
+    def test_invalid_mode(self):
+        workload = prepare("restaurant", max_pairs=50)
+        with pytest.raises(ConfigurationError):
+            make_crowd(workload, "90", 0, mode="magic")
+
+
+class TestRunMethod:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return prepare("restaurant", max_pairs=300)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_every_method_runs(self, workload, method):
+        crowd = make_crowd(workload, "90", 0)
+        row = run_method(method, workload, crowd, seed=0)
+        assert row.method == method
+        assert 0.0 <= row.f_measure <= 1.0
+        assert row.questions > 0
+
+    def test_unknown_method(self, workload):
+        crowd = make_crowd(workload, "90", 0)
+        with pytest.raises(ConfigurationError):
+            run_method("magic", workload, crowd)
+
+    def test_gcer_budget_forwarded(self, workload):
+        crowd = make_crowd(workload, "90", 0)
+        row = run_method("gcer", workload, crowd, gcer_budget=5)
+        assert row.questions <= 5
+
+
+class TestCompareMethods:
+    def test_gcer_budget_tied_to_acd(self):
+        workload = prepare("restaurant", max_pairs=300)
+        rows = compare_methods(workload, "90", 0, methods=("acd", "gcer"))
+        by = {row.method: row for row in rows}
+        assert by["gcer"].questions <= by["acd"].questions
+
+    def test_row_order_follows_request(self):
+        workload = prepare("restaurant", max_pairs=300)
+        rows = compare_methods(workload, "90", 0, methods=("gcer", "power"))
+        assert [row.method for row in rows] == ["gcer", "power"]
+
+
+class TestAverageRows:
+    def make(self, f1, questions):
+        return MethodRow(
+            method="power", dataset="d", band="90", seed=0,
+            f_measure=f1, precision=f1, recall=f1,
+            questions=questions, iterations=3, cost_cents=10,
+            assignment_time=0.1,
+        )
+
+    def test_averages(self):
+        merged = average_rows([self.make(0.8, 100), self.make(0.6, 200)])
+        assert merged.f_measure == pytest.approx(0.7)
+        assert merged.questions == 150
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_rows([])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "2.500" in text and "0.125" in text
+
+    def test_format_table_no_rows(self):
+        text = format_table("Empty", ["col"], [])
+        assert "col" in text
+
+    def test_emit_appends_to_file(self, tmp_path, capsys):
+        path = tmp_path / "out.txt"
+        emit("One", ["x"], [[1]], save_to=path)
+        emit("Two", ["x"], [[2]], save_to=path)
+        content = path.read_text()
+        assert "== One ==" in content and "== Two ==" in content
+        assert "== One ==" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Tests for partial-order graph analysis utilities."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import paper_pairs, paper_table, paper_vectors
+from repro.data.ground_truth import pair_truth
+from repro.exceptions import GraphError
+from repro.graph import (
+    GroupedGraph,
+    PairGraph,
+    count_order_violations,
+    order_statistics,
+    split_grouping,
+    transitive_reduction,
+)
+
+from conftest import random_vectors
+
+
+def make_graph(vectors):
+    return PairGraph([(i, i + 1000) for i in range(vectors.shape[0])], vectors)
+
+
+class TestOrderStatistics:
+    def test_paper_example(self):
+        graph = PairGraph(paper_pairs(), paper_vectors())
+        stats = order_statistics(graph)
+        assert stats.num_vertices == 18
+        assert stats.num_edges == graph.num_edges
+        # Width must match the minimum path cover (Dilworth).
+        assert stats.width >= 1
+        assert stats.depth >= 1
+        assert 0.0 <= stats.comparability <= 1.0
+
+    def test_chain(self):
+        stats = order_statistics(make_graph(np.array([[0.9], [0.5], [0.1]])))
+        assert stats.depth == 3
+        assert stats.width == 1
+        assert stats.comparability == 1.0
+
+    def test_antichain(self):
+        stats = order_statistics(make_graph(np.array([[1.0, 0.0], [0.0, 1.0]])))
+        assert stats.depth == 1
+        assert stats.width == 2
+        assert stats.comparability == 0.0
+
+    def test_skip_width(self):
+        stats = order_statistics(
+            make_graph(np.array([[0.9], [0.1]])), compute_width=False
+        )
+        assert stats.width == 0
+
+    def test_str(self):
+        text = str(order_statistics(make_graph(np.array([[0.5]]))))
+        assert "|V|=1" in text
+
+
+class TestTransitiveReduction:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=1, max_value=20),
+            st.integers(min_value=1, max_value=3),
+            st.integers(min_value=0, max_value=9999),
+        ).map(lambda args: random_vectors(args[2], args[0], args[1]))
+    )
+    def test_closure_of_reduction_is_full_relation(self, vectors):
+        graph = make_graph(vectors)
+        reduced = transitive_reduction(graph)
+        digraph = nx.DiGraph(reduced)
+        digraph.add_nodes_from(range(len(graph)))
+        closure = {
+            (u, int(v)) for u in digraph.nodes for v in nx.descendants(digraph, u)
+        }
+        full = {
+            (u, int(v)) for u in range(len(graph)) for v in graph.adjacency()[u]
+        }
+        assert closure == full
+
+    def test_reduction_is_minimal_on_chain(self):
+        graph = make_graph(np.array([[0.9], [0.5], [0.1]]))
+        assert sorted(transitive_reduction(graph)) == [(0, 1), (1, 2)]
+
+    def test_works_on_grouped_graph(self):
+        base = PairGraph(paper_pairs(), paper_vectors())
+        grouped = GroupedGraph(base, split_grouping(paper_vectors(), 0.1))
+        reduced = transitive_reduction(grouped)
+        assert len(reduced) <= grouped.num_edges
+
+
+class TestOrderViolations:
+    def test_paper_example_has_none(self):
+        graph = PairGraph(paper_pairs(), paper_vectors())
+        truth = pair_truth(paper_table(), paper_pairs())
+        violations, comparable = count_order_violations(graph, truth)
+        assert violations == 0
+        assert comparable == graph.num_edges
+
+    def test_constructed_violation(self):
+        # v0 (non-match) dominates v1 (match): one violation.
+        pairs = [(0, 1), (2, 3)]
+        vectors = np.array([[0.9, 0.9], [0.5, 0.5]])
+        graph = PairGraph(pairs, vectors)
+        truth = {(0, 1): False, (2, 3): True}
+        assert count_order_violations(graph, truth) == (1, 1)
+
+    def test_requires_pair_graph(self):
+        base = PairGraph(paper_pairs(), paper_vectors())
+        grouped = GroupedGraph(base, split_grouping(paper_vectors(), 0.1))
+        with pytest.raises(GraphError):
+            count_order_violations(grouped, {})
+
+    def test_small_table_rate_is_low(self, small_bundle):
+        """The paper's claim 'few pairs invalidate the partial order' holds
+        on our synthetic data too."""
+        _, pairs, vectors, truth = small_bundle
+        graph = PairGraph(pairs, vectors)
+        violations, comparable = count_order_violations(graph, truth)
+        assert comparable > 0
+        assert violations / comparable < 0.02

@@ -1,0 +1,62 @@
+"""Tests for the fractional-cascading range tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import RangeTree2D, brute_force_edges, index_edges
+from repro.graph.cascading import CascadingRangeTree2D
+
+POINTS = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 0.2, 0.4, 0.6, 0.8, 1.0]),
+        st.sampled_from([0.0, 0.2, 0.4, 0.6, 0.8, 1.0]),
+    ),
+    min_size=0,
+    max_size=60,
+)
+QUERY = st.tuples(
+    st.floats(min_value=-0.1, max_value=1.1),
+    st.floats(min_value=-0.1, max_value=1.1),
+)
+
+
+class TestCascadingTree:
+    @settings(max_examples=60, deadline=None)
+    @given(POINTS, QUERY)
+    def test_matches_plain_range_tree(self, points, query):
+        array = np.array(points).reshape(-1, 2)
+        plain = RangeTree2D(array)
+        cascading = CascadingRangeTree2D(array)
+        qx, qy = query
+        assert sorted(cascading.query_leq(qx, qy)) == sorted(plain.query_leq(qx, qy))
+
+    def test_one_search_per_query(self):
+        rng = np.random.default_rng(0)
+        tree = CascadingRangeTree2D(rng.random((200, 2)))
+        for _ in range(25):
+            tree.query_leq(float(rng.random()), float(rng.random()))
+        # The whole point of cascading: a single binary search per query.
+        assert tree.searches == 25
+
+    def test_empty_tree(self):
+        tree = CascadingRangeTree2D(np.empty((0, 2)))
+        assert tree.query_leq(1.0, 1.0) == []
+        assert len(tree) == 0
+
+    def test_duplicates_and_boundaries(self):
+        points = np.array([[0.5, 0.5]] * 3 + [[0.5, 0.6]])
+        tree = CascadingRangeTree2D(points)
+        assert sorted(tree.query_leq(0.5, 0.5)) == [0, 1, 2]
+        assert sorted(tree.query_leq(0.5, 0.6)) == [0, 1, 2, 3]
+        assert tree.query_leq(0.49, 1.0) == []
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            CascadingRangeTree2D(np.zeros((3, 3)))
+
+    def test_index_edges_cascading_option(self, small_bundle):
+        _, _, vectors, _ = small_bundle
+        assert index_edges(vectors, cascading=True) == brute_force_edges(vectors)

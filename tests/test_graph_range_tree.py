@@ -1,0 +1,68 @@
+"""Tests for the 2-D range tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import RangeTree2D
+
+POINTS = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 0.2, 0.4, 0.6, 0.8, 1.0]),
+        st.sampled_from([0.0, 0.2, 0.4, 0.6, 0.8, 1.0]),
+    ),
+    min_size=0,
+    max_size=60,
+)
+QUERY = st.tuples(
+    st.floats(min_value=-0.1, max_value=1.1),
+    st.floats(min_value=-0.1, max_value=1.1),
+)
+
+
+def brute(points, qx, qy):
+    return sorted(
+        i for i, (x, y) in enumerate(points) if x <= qx and y <= qy
+    )
+
+
+class TestRangeTree:
+    @settings(max_examples=60, deadline=None)
+    @given(POINTS, QUERY)
+    def test_matches_linear_scan(self, points, query):
+        tree = RangeTree2D(np.array(points).reshape(-1, 2))
+        qx, qy = query
+        assert sorted(tree.query_leq(qx, qy)) == brute(points, qx, qy)
+
+    def test_empty_tree(self):
+        tree = RangeTree2D(np.empty((0, 2)))
+        assert tree.query_leq(1.0, 1.0) == []
+        assert len(tree) == 0
+
+    def test_duplicate_points(self):
+        points = np.array([[0.5, 0.5]] * 4)
+        tree = RangeTree2D(points)
+        assert sorted(tree.query_leq(0.5, 0.5)) == [0, 1, 2, 3]
+        assert tree.query_leq(0.4, 0.5) == []
+
+    def test_boundary_inclusive(self):
+        tree = RangeTree2D(np.array([[0.3, 0.7]]))
+        assert tree.query_leq(0.3, 0.7) == [0]
+        assert tree.query_leq(0.3, 0.69) == []
+        assert tree.query_leq(0.29, 0.7) == []
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            RangeTree2D(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(GraphError):
+            RangeTree2D(np.array([[1.0, 2.0, 3.0]]))
+
+    def test_large_uniform_grid(self):
+        xs, ys = np.meshgrid(np.linspace(0, 1, 12), np.linspace(0, 1, 12))
+        points = np.column_stack([xs.ravel(), ys.ravel()])
+        tree = RangeTree2D(points)
+        got = tree.query_leq(0.5, 0.5)
+        expected = brute([tuple(p) for p in points], 0.5, 0.5)
+        assert sorted(got) == expected

@@ -1,0 +1,74 @@
+"""Tests for the m-dimensional range tree and full-dimensional index build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import RangeTreeND, brute_force_edges, index_edges_nd
+
+from conftest import random_vectors
+
+
+def points_strategy(max_n=40, dims=(2, 3, 4)):
+    return st.tuples(
+        st.integers(min_value=0, max_value=max_n),
+        st.sampled_from(dims),
+        st.integers(min_value=0, max_value=9999),
+    ).map(lambda args: random_vectors(args[2], args[0], args[1]))
+
+
+class TestRangeTreeND:
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy(), st.integers(min_value=0, max_value=9999))
+    def test_matches_linear_scan(self, points, query_seed):
+        if points.shape[0] == 0:
+            return
+        tree = RangeTreeND(points)
+        rng = np.random.default_rng(query_seed)
+        bounds = np.round(rng.random(points.shape[1]) * 4) / 4
+        expected = sorted(int(i) for i in np.flatnonzero((points <= bounds).all(axis=1)))
+        assert sorted(tree.query_leq(bounds)) == expected
+
+    def test_query_on_existing_point(self):
+        points = np.array([[0.5, 0.5, 0.5], [0.4, 0.6, 0.5], [0.1, 0.1, 0.1]])
+        tree = RangeTreeND(points)
+        assert sorted(tree.query_leq([0.5, 0.5, 0.5])) == [0, 2]
+
+    def test_duplicates(self):
+        points = np.tile([0.3, 0.7, 0.2], (5, 1))
+        tree = RangeTreeND(points)
+        assert sorted(tree.query_leq([0.3, 0.7, 0.2])) == [0, 1, 2, 3, 4]
+        assert tree.query_leq([0.3, 0.69, 0.2]) == []
+
+    def test_dimension_mismatch(self):
+        tree = RangeTreeND(np.zeros((3, 3)))
+        with pytest.raises(GraphError):
+            tree.query_leq([0.5, 0.5])
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            RangeTreeND(np.zeros((3,)))
+        with pytest.raises(GraphError):
+            RangeTreeND(np.zeros((3, 1)))
+
+    def test_len_and_dims(self):
+        tree = RangeTreeND(np.zeros((7, 4)))
+        assert len(tree) == 7
+        assert tree.num_dimensions == 4
+
+
+class TestIndexEdgesND:
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy(max_n=35))
+    def test_equals_brute_force(self, vectors):
+        assert index_edges_nd(vectors) == brute_force_edges(vectors)
+
+    def test_one_dimensional_fallback(self):
+        vectors = np.array([[0.5], [0.2], [0.5], [0.9]])
+        assert index_edges_nd(vectors) == brute_force_edges(vectors)
+
+    def test_on_real_vectors(self, small_bundle):
+        _, _, vectors, _ = small_bundle
+        assert index_edges_nd(vectors) == brute_force_edges(vectors)

@@ -1,0 +1,82 @@
+"""Interplay tests: grouped graphs under selection and error tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from repro.graph import Color, GroupedGraph, PairGraph, split_grouping
+from repro.selection import (
+    ErrorPolicy,
+    MultiPathSelector,
+    RandomSelector,
+    SinglePathSelector,
+    TopoSortSelector,
+)
+
+SELECTORS = [RandomSelector, SinglePathSelector, MultiPathSelector, TopoSortSelector]
+
+
+@pytest.fixture(scope="module")
+def grouped_setup(small_bundle):
+    _, pairs, vectors, truth = small_bundle
+    base = PairGraph(pairs, vectors)
+    grouped = GroupedGraph(base, split_grouping(vectors, 0.1))
+    return grouped, truth
+
+
+class TestGroupedSelection:
+    @pytest.mark.parametrize("selector_class", SELECTORS)
+    def test_all_pairs_labeled(self, grouped_setup, selector_class):
+        grouped, truth = grouped_setup
+        result = selector_class(seed=2).run(grouped, PerfectCrowd(truth).session())
+        assert set(result.labels) == set(truth)
+
+    @pytest.mark.parametrize("selector_class", SELECTORS)
+    def test_fewer_questions_than_groups(self, grouped_setup, selector_class):
+        grouped, truth = grouped_setup
+        result = selector_class(seed=2).run(grouped, PerfectCrowd(truth).session())
+        assert result.questions <= len(grouped)
+
+    def test_group_members_share_decisions_without_error_policy(self, grouped_setup):
+        """Plain Power colors whole groups: every member pair of a GREEN/RED
+        group carries the same label."""
+        grouped, truth = grouped_setup
+        result = TopoSortSelector(seed=1).run(grouped, PerfectCrowd(truth).session())
+        for vertex in range(len(grouped)):
+            color = result.state.color_of(vertex)
+            members = grouped.member_pairs(vertex)
+            labels = {result.labels[pair] for pair in members}
+            if color in (Color.GREEN, Color.RED):
+                assert len(labels) == 1
+
+    def test_blue_groups_can_split_per_pair(self, grouped_setup):
+        """Power+ may give different labels to pairs inside one BLUE group —
+        the histogram decides per pair, not per group."""
+        grouped, truth = grouped_setup
+        noisy = SimulatedCrowd(truth, WorkerPool(accuracy_range=(0.6, 0.7), seed=8))
+        selector = TopoSortSelector(error_policy=ErrorPolicy(), seed=8)
+        result = selector.run(grouped, noisy.session())
+        assert set(result.labels) == set(truth)
+        # If any BLUE group has both kinds of pairs, labels may differ;
+        # either way every pair must have received some decision.
+        for vertex in result.state.blue_vertices():
+            for pair in grouped.member_pairs(int(vertex)):
+                assert pair in result.labels
+
+
+class TestRepresentativeSampling:
+    def test_representative_depends_on_rng(self, grouped_setup):
+        grouped, _ = grouped_setup
+        big = max(range(len(grouped)), key=lambda v: len(grouped.grouping[v]))
+        if len(grouped.grouping[big]) < 2:
+            pytest.skip("no multi-member group in this fixture")
+        rng = np.random.default_rng(0)
+        seen = {grouped.representative_pair(big, rng) for _ in range(30)}
+        assert len(seen) > 1  # different members get sampled
+
+    def test_same_seed_same_run(self, grouped_setup):
+        grouped, truth = grouped_setup
+        a = TopoSortSelector(seed=5).run(grouped, PerfectCrowd(truth).session())
+        b = TopoSortSelector(seed=5).run(grouped, PerfectCrowd(truth).session())
+        assert a.state.asked_order == b.state.asked_order
+        assert a.labels == b.labels

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: the paper's headline claims in miniature.
+
+These run the full five-algorithm comparison on the small fixture table and
+assert the qualitative results the paper reports, so a regression anywhere
+in the pipeline (join, graph, selection, crowd, baselines, metrics) shows
+up here even if every unit test still passes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ACDResolver,
+    GCERResolver,
+    PowerConfig,
+    PowerResolver,
+    TransResolver,
+)
+from repro.core import pairwise_quality
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from repro.data.ground_truth import true_match_pairs
+
+
+@pytest.fixture(scope="module")
+def comparison(small_table, small_bundle):
+    """Run all five algorithms on shared 80%-band crowds, over three seeds.
+
+    Yields ``{method: (mean_f1, mean_questions, mean_iterations)}``.
+    """
+    _, pairs, vectors, truth = small_bundle
+    gold = true_match_pairs(small_table)
+    scores = vectors.mean(axis=1)
+
+    collected: dict[str, list[tuple[float, int, int]]] = {}
+    for seed in (3, 4, 5):
+        crowd = SimulatedCrowd(truth, WorkerPool(accuracy_range="80", seed=seed))
+        for error_tolerant, name in ((False, "power"), (True, "power+")):
+            resolver = PowerResolver(
+                PowerConfig(error_tolerant=error_tolerant, seed=seed)
+            )
+            result = resolver.resolve(small_table, session=crowd.session())
+            collected.setdefault(name, []).append(
+                (result.quality.f_measure, result.questions, result.iterations)
+            )
+        for baseline in (TransResolver(), ACDResolver(seed=seed), GCERResolver()):
+            result = baseline.run(pairs, scores, crowd.session())
+            quality = pairwise_quality(result.matches, gold)
+            collected.setdefault(result.name, []).append(
+                (quality.f_measure, result.questions, result.iterations)
+            )
+    return {
+        name: tuple(float(np.mean([run[i] for run in runs])) for i in range(3))
+        for name, runs in collected.items()
+    }
+
+
+class TestHeadlineClaims:
+    def test_power_asks_far_fewer_questions(self, comparison):
+        power_q = comparison["power"][1]
+        for baseline in ("trans", "acd", "gcer"):
+            assert power_q * 2 < comparison[baseline][1]
+
+    def test_power_needs_few_iterations_in_absolute_terms(self, comparison):
+        # At this tiny scale the baselines also finish in a handful of
+        # batches, so the paper's relative-iteration claim is asserted by
+        # the full-scale benches; here we pin Power's absolute behaviour.
+        assert comparison["power"][2] <= 10
+
+    def test_power_plus_quality_competitive(self, comparison):
+        plus_f1 = comparison["power+"][0]
+        error_blind = np.mean([comparison["trans"][0], comparison["gcer"][0]])
+        assert plus_f1 >= error_blind - 0.1
+
+    def test_all_methods_report_valid_metrics(self, comparison):
+        for name, (f_measure, questions, iterations) in comparison.items():
+            assert 0.0 <= f_measure <= 1.0, name
+            assert questions > 0, name
+            assert iterations > 0, name
+
+
+class TestSharedPlatformProtocol:
+    def test_same_pair_same_answer_across_algorithms(self, small_bundle):
+        """The §7.1 fairness protocol: algorithms asking the same pair must
+        observe the same voted answer."""
+        _, pairs, _, truth = small_bundle
+        crowd = SimulatedCrowd(truth, WorkerPool(accuracy_range="70", seed=1))
+        first = {pair: crowd.session().ask(pair).answer for pair in pairs[:25]}
+        second = {pair: crowd.session().ask(pair).answer for pair in pairs[:25]}
+        assert first == second
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self, small_table):
+        results = [
+            PowerResolver(PowerConfig(seed=9)).resolve(small_table, worker_band="80")
+            for _ in range(2)
+        ]
+        assert results[0].matches == results[1].matches
+        assert results[0].questions == results[1].questions
+        assert results[0].iterations == results[1].iterations
+
+    def test_seed_changes_crowd_not_structure(self, small_table):
+        a = PowerResolver(PowerConfig(seed=1)).resolve(small_table, worker_band="90")
+        b = PowerResolver(PowerConfig(seed=2)).resolve(small_table, worker_band="90")
+        # Candidate pairs derive from data only, not the seed.
+        assert a.candidate_pairs == b.candidate_pairs
+
+
+class TestOracleEndToEnd:
+    def test_oracle_no_grouping_perfect_on_clean_order(self, paper):
+        """On the paper example (no partial-order violations), the whole
+        pipeline with an oracle crowd recovers the exact truth."""
+        from repro.data.ground_truth import pair_truth
+
+        table, _, _, _ = paper
+        config = PowerConfig(
+            similarity=("edit", "jaccard", "jaccard", "edit"),
+            epsilon=None,
+            error_tolerant=False,
+            seed=0,
+        )
+        resolver = PowerResolver(config)
+        # The resolver's own pruning step decides the candidate universe;
+        # the oracle must cover exactly that.
+        candidates = resolver.candidate_pairs(table)
+        truth = pair_truth(table, candidates)
+        result = resolver.resolve(table, session=PerfectCrowd(truth).session())
+        assert result.quality.precision == 1.0
+        assert result.quality.recall == 1.0

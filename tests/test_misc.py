@@ -1,0 +1,74 @@
+"""Small cross-cutting tests: exceptions, vocabularies, selector knobs."""
+
+import pytest
+
+from repro.crowd import PerfectCrowd
+from repro.data import vocab
+from repro.exceptions import (
+    ConfigurationError,
+    CrowdError,
+    DataError,
+    GraphError,
+    PowerError,
+    SelectionError,
+)
+from repro.graph import PairGraph
+from repro.selection import SinglePathSelector
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [ConfigurationError, DataError, GraphError, CrowdError, SelectionError],
+    )
+    def test_all_derive_from_power_error(self, exception):
+        assert issubclass(exception, PowerError)
+
+    def test_catch_all(self):
+        with pytest.raises(PowerError):
+            raise DataError("boom")
+
+
+class TestVocabularies:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "RESTAURANT_NAME_HEADS", "RESTAURANT_NAME_TAILS", "STREET_NAMES",
+            "STREET_SUFFIXES", "CITIES", "CUISINES", "FIRST_NAMES",
+            "LAST_NAMES", "TITLE_TOPICS", "TITLE_PATTERNS", "TITLE_ADJECTIVES",
+            "TITLE_CONTEXTS", "JOURNALS", "CONFERENCES", "PUBLISHERS",
+            "PUBLICATION_TYPES",
+        ],
+    )
+    def test_lists_are_nonempty_and_unique(self, name):
+        words = getattr(vocab, name)
+        assert len(words) > 0
+        assert len(set(words)) == len(words)
+        assert all(isinstance(word, str) and word for word in words)
+
+    def test_title_patterns_format_cleanly(self):
+        for pattern in vocab.TITLE_PATTERNS:
+            text = pattern.format(adj="a", topic="t", context="c")
+            assert "{" not in text
+
+
+class TestSelectorKnobs:
+    def test_single_path_invalid_cover(self):
+        with pytest.raises(ValueError):
+            SinglePathSelector(cover="magic")
+
+    def test_single_path_greedy_cover_works(self, small_bundle):
+        _, pairs, vectors, truth = small_bundle
+        graph = PairGraph(pairs, vectors)
+        result = SinglePathSelector(cover="greedy").run(
+            graph, PerfectCrowd(truth).session()
+        )
+        assert result.state.is_complete()
+
+    def test_run_method_selector_override(self):
+        from repro.experiments import make_crowd, prepare, run_method
+
+        workload = prepare("restaurant", max_pairs=200)
+        crowd = make_crowd(workload, "90", 0)
+        row = run_method("power", workload, crowd, selector="multi-path")
+        assert row.questions > 0

@@ -1,0 +1,61 @@
+"""Tests for budget-capped selector runs (the anytime extension)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import PerfectCrowd
+from repro.exceptions import SelectionError
+from repro.graph import PairGraph
+from repro.selection import TopoSortSelector
+
+
+@pytest.fixture()
+def setup(small_bundle):
+    _, pairs, vectors, truth = small_bundle
+    return PairGraph(pairs, vectors), truth
+
+
+class TestBudgetedRun:
+    def test_budget_respected(self, setup):
+        graph, truth = setup
+        session = PerfectCrowd(truth).session()
+        result = TopoSortSelector().run(graph, session, budget=5)
+        assert result.questions <= 5
+
+    def test_all_pairs_still_labeled(self, setup):
+        graph, truth = setup
+        session = PerfectCrowd(truth).session()
+        result = TopoSortSelector().run(graph, session, budget=5)
+        assert set(result.labels) == set(truth)
+
+    def test_zero_budget_pure_histogram(self, setup):
+        graph, truth = setup
+        session = PerfectCrowd(truth).session()
+        result = TopoSortSelector().run(graph, session, budget=0)
+        assert result.questions == 0
+        assert set(result.labels) == set(truth)
+
+    def test_quality_increases_with_budget(self, setup):
+        """The anytime property: more budget never hurts much, and the
+        full run is at least as good as the zero-budget histogram guess."""
+        graph, truth = setup
+
+        def accuracy(budget):
+            session = PerfectCrowd(truth).session()
+            result = TopoSortSelector().run(graph, session, budget=budget)
+            return np.mean([truth[p] == v for p, v in result.labels.items()])
+
+        assert accuracy(None) >= accuracy(10) - 0.05
+        assert accuracy(10) >= accuracy(0) - 0.05
+
+    def test_unlimited_budget_equals_default(self, setup):
+        graph, truth = setup
+        a = TopoSortSelector().run(graph, PerfectCrowd(truth).session())
+        b = TopoSortSelector().run(graph, PerfectCrowd(truth).session(), budget=None)
+        assert a.labels == b.labels
+        assert a.questions == b.questions
+
+    def test_negative_budget_rejected(self, setup):
+        graph, truth = setup
+        with pytest.raises(SelectionError):
+            TopoSortSelector().run(graph, PerfectCrowd(truth).session(), budget=-1)

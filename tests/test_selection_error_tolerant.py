@@ -1,0 +1,139 @@
+"""Tests for the Power+ error-tolerance layer (§6, Algorithm 5)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from repro.exceptions import ConfigurationError
+from repro.graph import Color, ColoringState, GroupedGraph, PairGraph, split_grouping
+from repro.selection import ErrorPolicy, TopoSortSelector, resolve_blue_pairs
+
+
+class TestErrorPolicy:
+    def test_defaults_match_paper(self):
+        policy = ErrorPolicy()
+        assert policy.confidence_threshold == 0.8
+        assert policy.num_bins == 20
+        assert policy.binning == "equi-depth"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ErrorPolicy(confidence_threshold=1.2)
+        with pytest.raises(ConfigurationError):
+            ErrorPolicy(num_bins=0)
+        with pytest.raises(ConfigurationError):
+            ErrorPolicy(binning="magic")
+
+
+class TestBlueHandling:
+    def test_low_confidence_marks_blue(self, small_bundle):
+        """With a coin-flip crowd every answer is low-confidence: all asked
+        vertices go BLUE and nothing propagates."""
+        _, pairs, vectors, truth = small_bundle
+        graph = PairGraph(pairs, vectors)
+        coin_flip = SimulatedCrowd(
+            truth, WorkerPool(accuracy_range=(0.5, 0.5001), seed=0)
+        )
+        selector = TopoSortSelector(error_policy=ErrorPolicy(confidence_threshold=0.999))
+        result = selector.run(graph, coin_flip.session())
+        # Most vertices had to be asked: only the occasional unanimous
+        # (confidence-1.0) vote propagates anything.
+        assert result.questions >= 0.5 * len(graph)
+        assert len(result.state.blue_vertices()) > 0.5 * result.questions
+        # Every pair still receives a label via the histogram fallback.
+        assert set(result.labels) == set(truth)
+
+    def test_perfect_crowd_produces_no_blue(self, small_bundle):
+        _, pairs, vectors, truth = small_bundle
+        graph = PairGraph(pairs, vectors)
+        selector = TopoSortSelector(error_policy=ErrorPolicy())
+        result = selector.run(graph, PerfectCrowd(truth).session())
+        assert len(result.state.blue_vertices()) == 0
+        accuracy = np.mean([truth[p] == v for p, v in result.labels.items()])
+        assert accuracy >= 1 - 2 / len(truth)  # only order violations differ
+
+
+class TestResolveBluePairs:
+    def test_no_blue_returns_empty(self, small_bundle):
+        _, pairs, vectors, _ = small_bundle
+        graph = PairGraph(pairs, vectors)
+        state = ColoringState(graph)
+        assert resolve_blue_pairs(graph, state, ErrorPolicy()) == {}
+
+    def test_blue_pairs_follow_histogram(self):
+        """A BLUE vertex with high similarity should be colored GREEN when
+        every similar colored vertex is GREEN (and vice versa)."""
+        # Chain: similar greens on top, reds at the bottom, blue in between.
+        vectors = np.array(
+            [[0.95, 0.95], [0.9, 0.9], [0.85, 0.85],
+             [0.6, 0.6],
+             [0.1, 0.1], [0.15, 0.15], [0.05, 0.05]]
+        )
+        pairs = [(i, i + 100) for i in range(7)]
+        graph = PairGraph(pairs, vectors)
+        state = ColoringState(graph)
+        for vertex in (0, 1, 2):
+            state.force_color(vertex, Color.GREEN)
+        for vertex in (4, 5, 6):
+            state.force_color(vertex, Color.RED)
+        state.colors[3] = Color.BLUE
+        decided = resolve_blue_pairs(
+            graph, state, ErrorPolicy(num_bins=2, binning="equi-depth")
+        )
+        assert decided == {pairs[3]: True}
+
+    def test_blue_low_similarity_goes_red(self):
+        vectors = np.array(
+            [[0.95, 0.95], [0.9, 0.9],
+             [0.3, 0.3],
+             [0.1, 0.1], [0.15, 0.15]]
+        )
+        pairs = [(i, i + 100) for i in range(5)]
+        graph = PairGraph(pairs, vectors)
+        state = ColoringState(graph)
+        state.force_color(0, Color.GREEN)
+        state.force_color(1, Color.GREEN)
+        state.force_color(3, Color.RED)
+        state.force_color(4, Color.RED)
+        state.colors[2] = Color.BLUE
+        decided = resolve_blue_pairs(graph, state, ErrorPolicy(num_bins=2))
+        assert decided == {pairs[2]: False}
+
+    def test_grouped_graph_blue_members_decided_per_pair(self, small_bundle):
+        _, pairs, vectors, truth = small_bundle
+        base = PairGraph(pairs, vectors)
+        grouped = GroupedGraph(base, split_grouping(vectors, 0.1))
+        state = ColoringState(grouped)
+        # Color everything by truth of representative, except one blue group.
+        blue_vertex = 0
+        for vertex in range(len(grouped)):
+            if vertex == blue_vertex:
+                state.colors[vertex] = Color.BLUE
+                continue
+            members = grouped.member_pairs(vertex)
+            majority = sum(truth[p] for p in members) * 2 > len(members)
+            state.force_color(vertex, Color.GREEN if majority else Color.RED)
+        decided = resolve_blue_pairs(grouped, state, ErrorPolicy())
+        assert set(decided) == set(grouped.member_pairs(blue_vertex))
+
+
+class TestPowerPlusQuality:
+    def test_power_plus_recovers_from_noise(self, small_bundle):
+        """With mediocre workers, Power+ should beat plain Power on average
+        (the headline of Figs. 12-14)."""
+        _, pairs, vectors, truth = small_bundle
+        graph = PairGraph(pairs, vectors)
+
+        def accuracy(result):
+            return np.mean([truth[p] == v for p, v in result.labels.items()])
+
+        plain_scores, plus_scores = [], []
+        for seed in range(6):
+            crowd = SimulatedCrowd(truth, WorkerPool(accuracy_range="70", seed=seed))
+            plain = TopoSortSelector(seed=seed).run(graph, crowd.session())
+            plus = TopoSortSelector(error_policy=ErrorPolicy(), seed=seed).run(
+                graph, crowd.session()
+            )
+            plain_scores.append(accuracy(plain))
+            plus_scores.append(accuracy(plus))
+        assert np.mean(plus_scores) > np.mean(plain_scores)

@@ -1,0 +1,113 @@
+"""Tests for Eq. 7 weights, Eq. 8 similarities, and match histograms (§6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.selection import attribute_weights, build_histogram, weighted_similarities
+
+
+class TestAttributeWeights:
+    def test_weights_sum_to_one(self):
+        green = np.array([[0.9, 0.1], [0.8, 0.2]])
+        weights = attribute_weights(green, 2)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_heavier_attribute_gets_more_weight(self):
+        green = np.array([[0.9, 0.1], [0.8, 0.2]])
+        weights = attribute_weights(green, 2)
+        assert weights[0] > weights[1]
+
+    def test_no_green_pairs_uniform(self):
+        weights = attribute_weights(np.empty((0, 3)), 3)
+        assert np.allclose(weights, [1 / 3] * 3)
+
+    def test_zero_mass_uniform(self):
+        weights = attribute_weights(np.zeros((4, 2)), 2)
+        assert np.allclose(weights, [0.5, 0.5])
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=9999),
+    )
+    def test_weights_nonnegative_and_normalised(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        weights = attribute_weights(rng.random((n, m)), m)
+        assert np.all(weights >= 0)
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestWeightedSimilarities:
+    def test_linear_combination(self):
+        vectors = np.array([[1.0, 0.0], [0.5, 0.5]])
+        s_hat = weighted_similarities(vectors, np.array([0.75, 0.25]))
+        assert s_hat[0] == pytest.approx(0.75)
+        assert s_hat[1] == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            weighted_similarities(np.ones((2, 3)), np.ones(2))
+
+
+class TestHistogram:
+    def test_appendix_c_equi_width_example(self):
+        """Five width-0.2 bins; h4 = [0.6, 0.8) has Pr = 1; 0.72 -> GREEN."""
+        values = np.array([0.97, 0.98, 0.68, 0.60, 0.43, 0.42, 0.41, 0.44, 0.44, 0.40,
+                           0.21, 0.37, 0.39, 0.39, 0.28, 0.29])
+        labels = np.array([True, True, True, True, True, True, True, True, False, False,
+                           False, False, False, False, False, False])
+        histogram = build_histogram(values, labels, num_bins=5, binning="equi-width")
+        assert histogram.probability(0.72) == pytest.approx(1.0)
+        assert histogram.classify(0.72) is True
+        assert histogram.classify(0.28) is False
+
+    def test_bin_boundary_semantics(self):
+        """[lo, hi) bins: 0.8 belongs to the top bin, not [0.6, 0.8)."""
+        values = np.array([0.7, 0.9])
+        labels = np.array([False, True])
+        histogram = build_histogram(values, labels, num_bins=5, binning="equi-width")
+        assert histogram.probability(0.8) == pytest.approx(1.0)
+        assert histogram.probability(0.79) == pytest.approx(0.0)
+
+    def test_equi_depth_balances_counts(self):
+        values = np.concatenate([np.linspace(0, 0.1, 50), np.linspace(0.9, 1.0, 50)])
+        labels = values > 0.5
+        histogram = build_histogram(values, labels, num_bins=4, binning="equi-depth")
+        assert histogram.counts.sum() == 100
+        assert histogram.classify(0.95) is True
+        assert histogram.classify(0.05) is False
+
+    def test_empty_bins_inherit_neighbours(self):
+        values = np.array([0.05, 0.95])
+        labels = np.array([False, True])
+        histogram = build_histogram(values, labels, num_bins=10, binning="equi-width")
+        assert histogram.probability(0.2) == pytest.approx(0.0)  # near the red
+        assert histogram.probability(0.85) == pytest.approx(1.0)  # near the green
+
+    def test_no_training_data_gives_half(self):
+        histogram = build_histogram(np.array([]), np.array([], dtype=bool))
+        assert histogram.probability(0.5) == pytest.approx(0.5)
+        assert histogram.classify(0.5) is False  # 0.5 is not > 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            build_histogram(np.array([0.5]), np.array([True, False]))
+        with pytest.raises(ConfigurationError):
+            build_histogram(np.array([0.5]), np.array([True]), num_bins=0)
+        with pytest.raises(ConfigurationError):
+            build_histogram(np.array([0.5]), np.array([True]), binning="magic")
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=9999),
+           st.sampled_from(["equi-depth", "equi-width"]))
+    def test_probabilities_in_unit_interval(self, n, seed, binning):
+        rng = np.random.default_rng(seed)
+        values = rng.random(n)
+        labels = rng.random(n) < 0.5
+        histogram = build_histogram(values, labels, num_bins=7, binning=binning)
+        assert np.all(histogram.probabilities >= 0)
+        assert np.all(histogram.probabilities <= 1)

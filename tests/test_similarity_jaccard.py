@@ -1,0 +1,82 @@
+"""Unit tests for Jaccard-family similarities (Eq. 1) and tokenizers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    bigram_jaccard,
+    jaccard,
+    normalize,
+    qgram_jaccard,
+    qgram_tokens,
+    token_jaccard,
+    word_tokens,
+)
+
+TEXT = st.text(alphabet="abc -.", max_size=30)
+
+
+class TestTokenizers:
+    def test_word_tokens_split_on_punctuation(self):
+        assert word_tokens("ritz-carlton (atlanta)") == {"ritz", "carlton", "atlanta"}
+
+    def test_word_tokens_lowercase(self):
+        assert word_tokens("ABC def") == {"abc", "def"}
+
+    def test_word_tokens_empty(self):
+        assert word_tokens("...") == frozenset()
+
+    def test_qgram_short_string(self):
+        assert qgram_tokens("a", 2) == {"a"}
+
+    def test_qgram_bigrams(self):
+        assert qgram_tokens("abc", 2) == {"ab", "bc"}
+
+    def test_qgram_normalises_whitespace(self):
+        assert qgram_tokens("a   b", 2) == qgram_tokens("a b", 2)
+
+    def test_qgram_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgram_tokens("abc", 0)
+
+    def test_normalize(self):
+        assert normalize("  A  B\tC ") == "a b c"
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        # |{a}| / |{a, b, c}|
+        assert jaccard({"a", "b"}, {"a", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(frozenset(), {"a"}) == 0.0
+
+    def test_paper_example_address(self):
+        # s_12^2 in Table 2: Jac("181 w. peachtree st.", "181 peachtree dr")
+        # = |{181, peachtree}| / |{181, w, peachtree, st, dr}| = 2/5.
+        assert token_jaccard("181 w. peachtree st.", "181 peachtree dr") == pytest.approx(0.4)
+
+    @given(TEXT, TEXT)
+    def test_range_and_symmetry(self, a, b):
+        s = token_jaccard(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(token_jaccard(b, a))
+
+    @given(TEXT)
+    def test_self_similarity(self, a):
+        assert token_jaccard(a, a) == 1.0
+        assert bigram_jaccard(a, a) == 1.0
+
+    @given(TEXT, TEXT, st.integers(min_value=1, max_value=4))
+    def test_qgram_range(self, a, b, q):
+        assert 0.0 <= qgram_jaccard(a, b, q) <= 1.0

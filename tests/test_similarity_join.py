@@ -1,0 +1,112 @@
+"""Tests for the candidate-pair similarity join (the §7.1 pruning step)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Table
+from repro.exceptions import ConfigurationError
+from repro.similarity import similar_pairs, similar_pairs_edit, top_k_pairs
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
+ROW = st.lists(st.sampled_from(WORDS), min_size=1, max_size=4).map(" ".join)
+
+
+def make_table(rows):
+    return Table.from_rows("t", ("text",), [(row,) for row in rows])
+
+
+class TestSimilarPairs:
+    def test_identical_records_always_join(self):
+        table = make_table(["alpha beta", "alpha beta", "gamma"])
+        assert (0, 1) in similar_pairs(table, 0.9)
+
+    def test_threshold_excludes_dissimilar(self):
+        table = make_table(["alpha beta", "gamma delta"])
+        assert similar_pairs(table, 0.5) == []
+
+    def test_pairs_are_canonical_and_sorted(self, small_table):
+        pairs = similar_pairs(small_table, 0.3)
+        assert pairs == sorted(pairs)
+        assert all(i < j for i, j in pairs)
+
+    def test_invalid_threshold(self, small_table):
+        with pytest.raises(ConfigurationError):
+            similar_pairs(small_table, 0.0)
+        with pytest.raises(ConfigurationError):
+            similar_pairs(small_table, 1.5)
+
+    def test_invalid_method(self, small_table):
+        with pytest.raises(ConfigurationError):
+            similar_pairs(small_table, 0.5, method="magic")
+
+    def test_qgram_tokens_mode(self, small_table):
+        pairs = similar_pairs(small_table, 0.4, tokens="qgram")
+        assert all(i < j for i, j in pairs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ROW, min_size=2, max_size=25), st.floats(min_value=0.1, max_value=0.9))
+    def test_prefix_join_equals_naive(self, rows, threshold):
+        """The prefix-filter join must report exactly the naive join's pairs."""
+        table = make_table(rows)
+        naive = similar_pairs(table, threshold, method="naive")
+        prefix = similar_pairs(table, threshold, method="prefix")
+        assert naive == prefix
+
+    def test_prefix_join_on_small_table(self, small_table):
+        for threshold in (0.2, 0.4, 0.6):
+            assert similar_pairs(small_table, threshold, method="naive") == similar_pairs(
+                small_table, threshold, method="prefix"
+            )
+
+
+class TestTopKPairs:
+    def test_returns_k_most_similar(self):
+        table = make_table(["alpha beta", "alpha beta", "alpha", "zeta"])
+        top = top_k_pairs(table, 2)
+        assert len(top) == 2
+        assert top[0][0] >= top[1][0]
+        assert top[0][1] == (0, 1)
+
+    def test_k_larger_than_pairs(self):
+        table = make_table(["alpha", "beta"])
+        assert len(top_k_pairs(table, 10)) == 1
+
+    def test_invalid_k(self, small_table):
+        with pytest.raises(ConfigurationError):
+            top_k_pairs(small_table, 0)
+
+
+class TestSimilarPairsEdit:
+    def test_identical_records_join(self):
+        table = make_table(["alpha beta", "alpha beta"])
+        assert similar_pairs_edit(table, 0.9) == [(0, 1)]
+
+    def test_threshold_excludes(self):
+        table = make_table(["alpha beta", "zeta"])
+        assert similar_pairs_edit(table, 0.8) == []
+
+    def test_matches_naive_edit_similarity(self, small_table):
+        from repro.similarity import edit_similarity
+
+        threshold = 0.6
+        got = similar_pairs_edit(small_table, threshold, prefilter_overlap=0.0)
+        texts = [small_table.record_text(r.record_id) for r in small_table]
+        expected = [
+            (i, j)
+            for i in range(len(texts))
+            for j in range(i + 1, len(texts))
+            if edit_similarity(texts[i], texts[j]) >= threshold
+        ]
+        assert got == expected
+
+    def test_prefilter_preserves_high_threshold_pairs(self, small_table):
+        strict = similar_pairs_edit(small_table, 0.7, prefilter_overlap=0.0)
+        filtered = similar_pairs_edit(small_table, 0.7, prefilter_overlap=0.05)
+        # The loose token prefilter may only drop token-disjoint pairs.
+        assert set(filtered) <= set(strict)
+        assert len(filtered) >= len(strict) * 0.9
+
+    def test_invalid_threshold(self, small_table):
+        with pytest.raises(ConfigurationError):
+            similar_pairs_edit(small_table, 0.0)

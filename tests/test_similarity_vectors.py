@@ -1,0 +1,93 @@
+"""Tests for similarity-vector computation and SimilarityConfig."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.exceptions import ConfigurationError
+from repro.similarity import (
+    SimilarityConfig,
+    attribute_similarities,
+    resolve_function,
+    similarity_matrix,
+)
+
+
+@pytest.fixture()
+def two_column_table():
+    return Table.from_rows(
+        "t",
+        ("a", "b"),
+        [("abc", "x y"), ("abd", "x z"), ("zzz", "q")],
+    )
+
+
+class TestSimilarityConfig:
+    def test_uniform(self):
+        config = SimilarityConfig.uniform(3)
+        assert config.functions == ("bigram",) * 3
+        assert config.num_attributes == 3
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityConfig(functions=("nope",))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityConfig(functions=("edit",), attribute_threshold=1.5)
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityConfig(functions=())
+
+    def test_for_table_arity_mismatch(self, two_column_table):
+        with pytest.raises(ConfigurationError):
+            SimilarityConfig.uniform(3).for_table(two_column_table)
+
+    def test_resolve_function_known(self):
+        assert resolve_function("edit")("ab", "ab") == 1.0
+
+    def test_resolve_function_unknown(self):
+        with pytest.raises(ConfigurationError):
+            resolve_function("cosine")
+
+
+class TestAttributeSimilarities:
+    def test_vector_values(self, two_column_table):
+        config = SimilarityConfig(functions=("edit", "jaccard"), attribute_threshold=0.0)
+        vector = attribute_similarities(two_column_table, (0, 1), config)
+        assert vector[0] == pytest.approx(2 / 3)  # abc vs abd
+        assert vector[1] == pytest.approx(1 / 3)  # {x,y} vs {x,z}
+
+    def test_threshold_clamps_to_zero(self, two_column_table):
+        config = SimilarityConfig(functions=("edit", "jaccard"), attribute_threshold=0.5)
+        vector = attribute_similarities(two_column_table, (0, 1), config)
+        assert vector[0] == pytest.approx(2 / 3)  # above tau: kept
+        assert vector[1] == 0.0  # 1/3 < 0.5: clamped
+
+    def test_pair_order_irrelevant(self, two_column_table):
+        config = SimilarityConfig.uniform(2)
+        assert attribute_similarities(
+            two_column_table, (0, 2), config
+        ) == attribute_similarities(two_column_table, (2, 0), config)
+
+
+class TestSimilarityMatrix:
+    def test_shape_and_alignment(self, two_column_table):
+        config = SimilarityConfig.uniform(2, attribute_threshold=0.0)
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        matrix = similarity_matrix(two_column_table, pairs, config)
+        assert matrix.shape == (3, 2)
+        for row, pair in enumerate(pairs):
+            expected = attribute_similarities(two_column_table, pair, config)
+            assert np.allclose(matrix[row], expected)
+
+    def test_values_in_unit_interval(self, small_bundle):
+        _, _, vectors, _ = small_bundle
+        assert vectors.min() >= 0.0
+        assert vectors.max() <= 1.0
+
+    def test_empty_pairs(self, two_column_table):
+        config = SimilarityConfig.uniform(2)
+        matrix = similarity_matrix(two_column_table, [], config)
+        assert matrix.shape == (0, 2)
