@@ -1,0 +1,23 @@
+# Convenience targets for the power-er reproduction.
+#
+#   make test        - tier-1 test suite
+#   make bench-smoke - <60s perf smoke: fast paths must beat the scalar
+#                      references (POWER_BENCH_FAST=1 shrinks the workload)
+#   make bench-perf  - full pipeline benchmark; enforces the 5x vectorize /
+#                      3x construct speedup floors and refreshes
+#                      benchmarks/results/BENCH_pipeline.json
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-perf
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench-smoke:
+	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_perf_pipeline.py --check
+	POWER_BENCH_FAST=1 $(PYTHON) -m pytest -q tests/test_perf_smoke.py
+
+bench-perf:
+	$(PYTHON) benchmarks/bench_perf_pipeline.py --check

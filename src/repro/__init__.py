@@ -31,7 +31,12 @@ from .selection import (
     SinglePathSelector,
     TopoSortSelector,
 )
-from .similarity import SimilarityConfig, similar_pairs, similarity_matrix
+from .similarity import (
+    SimilarityConfig,
+    batch_similarity_matrix,
+    similar_pairs,
+    similarity_matrix,
+)
 
 __version__ = "1.0.0"
 
@@ -56,6 +61,7 @@ __all__ = [
     "TransResolver",
     "WorkerPool",
     "acmpub",
+    "batch_similarity_matrix",
     "clusters_from_matches",
     "cora",
     "load_csv",

@@ -19,6 +19,18 @@ class PowerConfig:
         attribute_threshold: per-attribute clamp ``tau`` (Table 2 uses 0.2).
         pruning_threshold: record-level Jaccard bound for candidate pairs
             (the paper uses 0.3 on ACMPub, 0.2 elsewhere).
+        join_method: candidate-join strategy — ``"auto"`` (default; picks by
+            table size, see
+            :data:`repro.similarity.join.AUTO_PREFIX_CROSSOVER`), ``"naive"``,
+            ``"prefix"``, or ``"sparse"``.  Lets the resolver force the prefix
+            join (or the numpy inverted-list join) regardless of table size.
+        join_tokens: token sets for the pruning join — ``"word"`` (default)
+            or ``"qgram"``.
+        use_batch_similarity: compute similarity vectors through the
+            vectorized fast path
+            (:func:`repro.similarity.batch.batch_similarity_matrix`; default)
+            instead of the scalar reference.  Both produce bit-identical
+            vectors; the knob exists for A/B verification and debugging.
         epsilon: grouping threshold; ``None`` disables grouping (§4.2's
             default in the experiments is 0.1).
         grouping_algorithm: ``"split"`` (Algorithm 2) or ``"greedy"``
@@ -35,6 +47,9 @@ class PowerConfig:
     similarity: str | tuple[str, ...] = "bigram"
     attribute_threshold: float = 0.2
     pruning_threshold: float = 0.2
+    join_method: str = "auto"
+    join_tokens: str = "word"
+    use_batch_similarity: bool = True
     epsilon: float | None = 0.1
     grouping_algorithm: str = "split"
     selector: str = "power"
@@ -46,9 +61,19 @@ class PowerConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        from ..similarity.join import JOIN_METHODS
+
         if not 0.0 < self.pruning_threshold <= 1.0:
             raise ConfigurationError(
                 f"pruning_threshold must be in (0, 1], got {self.pruning_threshold}"
+            )
+        if self.join_method not in JOIN_METHODS:
+            raise ConfigurationError(
+                f"join_method must be one of {JOIN_METHODS}, got {self.join_method!r}"
+            )
+        if self.join_tokens not in ("word", "qgram"):
+            raise ConfigurationError(
+                f"join_tokens must be 'word' or 'qgram', got {self.join_tokens!r}"
             )
         if self.epsilon is not None and self.epsilon < 0:
             raise ConfigurationError(f"epsilon must be >= 0, got {self.epsilon}")

@@ -33,6 +33,7 @@ from ..graph.dag import OrderedGraph
 from ..graph.grouped_graph import build_graph
 from ..selection import SELECTORS
 from ..selection.base import SelectionResult
+from ..similarity.batch import batch_similarity_matrix
 from ..similarity.join import similar_pairs
 from ..similarity.vectors import SimilarityConfig, similarity_matrix
 from .clustering import clusters_from_matches
@@ -108,7 +109,12 @@ class PowerResolver:
 
     def candidate_pairs(self, table: Table) -> list[Pair]:
         """Stage 1: record-level similarity pruning (§7.1)."""
-        return similar_pairs(table, self.config.pruning_threshold)
+        return similar_pairs(
+            table,
+            self.config.pruning_threshold,
+            tokens=self.config.join_tokens,
+            method=self.config.join_method,
+        )
 
     def similarity_config(self, table: Table) -> SimilarityConfig:
         similarity = self.config.similarity
@@ -124,8 +130,17 @@ class PowerResolver:
         ).for_table(table)
 
     def build_graph(self, table: Table, pairs: list[Pair]) -> OrderedGraph:
-        """Stages 2-3: similarity vectors and the (grouped) graph."""
-        vectors = similarity_matrix(table, pairs, self.similarity_config(table))
+        """Stages 2-3: similarity vectors and the (grouped) graph.
+
+        Uses the vectorized batch substrate by default (bit-identical to the
+        scalar reference; set ``use_batch_similarity=False`` to A/B it).
+        """
+        vectorize = (
+            batch_similarity_matrix
+            if self.config.use_batch_similarity
+            else similarity_matrix
+        )
+        vectors = vectorize(table, pairs, self.similarity_config(table))
         return build_graph(
             pairs,
             vectors,

@@ -1,6 +1,6 @@
 """Experiment harnesses reproducing every table and figure of the paper."""
 
-from . import ablations, figures
+from . import ablations, figures, perf
 from .reporting import emit, format_table
 from .runner import (
     METHODS,
@@ -28,6 +28,7 @@ __all__ = [
     "figures",
     "format_table",
     "make_crowd",
+    "perf",
     "prepare",
     "run_method",
 ]

@@ -11,6 +11,8 @@ from .cascading import CascadingRangeTree2D
 from .coloring import Color, ColoringState
 from .construction import (
     CONSTRUCTION_ALGORITHMS,
+    blocked_dominance_lists,
+    blocked_edges,
     brute_force_edges,
     index_edges,
     quicksort_edges,
@@ -61,6 +63,8 @@ __all__ = [
     "PairGraph",
     "RangeTree2D",
     "ancestor_mask",
+    "blocked_dominance_lists",
+    "blocked_edges",
     "brute_force_edges",
     "build_graph",
     "comparable",

@@ -10,7 +10,10 @@ Dominance queries are vectorised: instead of materialising the O(|V|^2) edge
 set, ``descendants(v)`` broadcasts one comparison over the similarity matrix.
 Because strict dominance is transitive, the resulting edge relation is its
 own transitive closure; explicit adjacency lists (needed by the matching and
-layering algorithms) are built lazily and cached.
+layering algorithms) are built lazily and cached — through the blocked
+dominance kernel (:func:`repro.graph.construction.blocked_dominance_lists`)
+when a subclass exposes its dominance operands, falling back to the
+per-vertex reference loop otherwise.
 """
 
 from __future__ import annotations
@@ -65,6 +68,17 @@ class OrderedGraph(ABC):
     def representative_pair(self, vertex: int, rng: np.random.Generator) -> Pair:
         """The pair actually sent to the crowd when *vertex* is asked."""
 
+    def _dominance_operands(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(dominant_rows, dominated_rows)`` for the blocked kernel.
+
+        Vertex ``u`` dominates ``v`` iff ``dominant_rows[u] >=
+        dominated_rows[v]`` component-wise with at least one strict ``>``.
+        Subclasses that can express their order this way get blocked (tiled)
+        adjacency construction for free; returning ``None`` keeps the
+        per-vertex reference loop.
+        """
+        return None
+
     def descendants(self, vertex: int) -> np.ndarray:
         """Indices of vertices strictly dominated by *vertex*."""
         return np.flatnonzero(self.descendant_mask(vertex))
@@ -81,9 +95,15 @@ class OrderedGraph(ABC):
         2 and its transitive closure.
         """
         if self._adjacency is None:
-            self._adjacency = [
-                self.descendants(vertex) for vertex in range(self._num_vertices)
-            ]
+            operands = self._dominance_operands()
+            if operands is not None:
+                from .construction import blocked_dominance_lists
+
+                self._adjacency = blocked_dominance_lists(*operands)
+            else:
+                self._adjacency = [
+                    self.descendants(vertex) for vertex in range(self._num_vertices)
+                ]
         return self._adjacency
 
     @property
@@ -127,6 +147,9 @@ class PairGraph(OrderedGraph):
     @property
     def num_attributes(self) -> int:
         return self.vectors.shape[1]
+
+    def _dominance_operands(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.vectors, self.vectors
 
     def descendant_mask(self, vertex: int) -> np.ndarray:
         self._check_vertex(vertex)

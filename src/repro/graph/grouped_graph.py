@@ -52,12 +52,16 @@ class GroupedGraph(OrderedGraph):
             raise GraphError(
                 f"grouping covers {len(seen)} of {len(base)} base vertices"
             )
-        self.lower_bounds = np.vstack(
-            [base.vectors[group].min(axis=0) for group in self.grouping]
-        )
-        self.upper_bounds = np.vstack(
-            [base.vectors[group].max(axis=0) for group in self.grouping]
-        )
+        if self.grouping:
+            self.lower_bounds = np.vstack(
+                [base.vectors[group].min(axis=0) for group in self.grouping]
+            )
+            self.upper_bounds = np.vstack(
+                [base.vectors[group].max(axis=0) for group in self.grouping]
+            )
+        else:  # zero candidate pairs: keep (0, m) shapes so kernels no-op
+            self.lower_bounds = base.vectors[:0].copy()
+            self.upper_bounds = base.vectors[:0].copy()
         self._group_of_base = np.empty(len(base), dtype=np.int64)
         for group_id, group in enumerate(self.grouping):
             self._group_of_base[group] = group_id
@@ -65,6 +69,11 @@ class GroupedGraph(OrderedGraph):
     @property
     def num_attributes(self) -> int:
         return self.base.num_attributes
+
+    def _dominance_operands(self) -> tuple[np.ndarray, np.ndarray]:
+        # Group g_i > g_j iff lower(g_i) >= upper(g_j) with a strict attribute
+        # (Eqs. 5-6) — exactly the blocked kernel's operand form.
+        return self.lower_bounds, self.upper_bounds
 
     def descendant_mask(self, vertex: int) -> np.ndarray:
         self._check_vertex(vertex)

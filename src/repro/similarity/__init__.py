@@ -1,21 +1,38 @@
-"""Similarity substrate: tokenizers, string similarities, vectors, joins."""
+"""Similarity substrate: tokenizers, string similarities, vectors, joins.
 
+Scalar reference implementations live in :mod:`.jaccard`, :mod:`.edit`,
+:mod:`.vectors` and :mod:`.join`; the vectorized production fast paths live
+in :mod:`.batch` and are equivalence-tested against the references.
+"""
+
+from .batch import TokenIndex, batch_similarity_matrix, sparse_jaccard_join
 from .edit import edit_distance, edit_distance_within, edit_similarity
 from .jaccard import bigram_jaccard, jaccard, qgram_jaccard, token_jaccard
-from .join import similar_pairs, similar_pairs_edit, top_k_pairs
+from .join import (
+    AUTO_PREFIX_CROSSOVER,
+    JOIN_METHODS,
+    similar_pairs,
+    similar_pairs_edit,
+    top_k_pairs,
+)
 from .tokenize import normalize, qgram_tokens, word_tokens
 from .vectors import (
     SIMILARITY_FUNCTIONS,
     SimilarityConfig,
     attribute_similarities,
     resolve_function,
+    resolve_functions,
     similarity_matrix,
 )
 
 __all__ = [
+    "AUTO_PREFIX_CROSSOVER",
+    "JOIN_METHODS",
     "SIMILARITY_FUNCTIONS",
     "SimilarityConfig",
+    "TokenIndex",
     "attribute_similarities",
+    "batch_similarity_matrix",
     "bigram_jaccard",
     "edit_distance",
     "edit_distance_within",
@@ -25,9 +42,11 @@ __all__ = [
     "qgram_jaccard",
     "qgram_tokens",
     "resolve_function",
+    "resolve_functions",
     "similar_pairs",
     "similar_pairs_edit",
     "similarity_matrix",
+    "sparse_jaccard_join",
     "token_jaccard",
     "top_k_pairs",
     "word_tokens",

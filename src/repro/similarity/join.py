@@ -21,6 +21,16 @@ from .edit import edit_distance_within
 from .jaccard import jaccard
 from .tokenize import qgram_tokens, word_tokens
 
+#: Table size at which ``method="auto"`` switches from the quadratic scan to
+#: the prefix-filtered join.  Below this point the naive scan's lack of index
+#: bookkeeping wins (measured on the paper's Restaurant/Cora-scale tables);
+#: above it the O(n^2) candidate space dominates and prefix filtering pays.
+#: Callers can always force a method explicitly (``PowerConfig.join_method``).
+AUTO_PREFIX_CROSSOVER = 1200
+
+#: The join strategies accepted by :func:`similar_pairs`.
+JOIN_METHODS = ("auto", "naive", "prefix", "sparse")
+
 
 def _record_tokens(table: Table, use_qgrams: bool) -> list[frozenset[str]]:
     if use_qgrams:
@@ -42,7 +52,9 @@ def similar_pairs(
             on ACMPub and 0.2 elsewhere).
         tokens: ``"word"`` (default) or ``"qgram"`` token sets.
         method: ``"naive"`` forces the quadratic scan, ``"prefix"`` forces the
-            prefix-filter join, ``"auto"`` picks by table size.
+            prefix-filter join, ``"sparse"`` forces the inverted-list numpy
+            join (:func:`repro.similarity.batch.sparse_jaccard_join`), and
+            ``"auto"`` picks by table size (:data:`AUTO_PREFIX_CROSSOVER`).
 
     Returns:
         Canonically ordered pairs, sorted for determinism.
@@ -52,12 +64,20 @@ def similar_pairs(
     if tokens not in ("word", "qgram"):
         raise ConfigurationError(f"tokens must be 'word' or 'qgram', got {tokens!r}")
     if method == "auto":
-        method = "prefix" if len(table) > 1200 else "naive"
+        method = "prefix" if len(table) > AUTO_PREFIX_CROSSOVER else "naive"
+    if len(table) < 2:  # explicit empty/singleton fast path: no allocation
+        if method not in JOIN_METHODS:
+            raise ConfigurationError(f"unknown join method {method!r}")
+        return []
     token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
     if method == "naive":
         pairs = _naive_join(token_sets, threshold)
     elif method == "prefix":
         pairs = _prefix_join(token_sets, threshold)
+    elif method == "sparse":
+        from .batch import sparse_jaccard_join
+
+        pairs = sparse_jaccard_join(token_sets, threshold)
     else:
         raise ConfigurationError(f"unknown join method {method!r}")
     return sorted(pairs)

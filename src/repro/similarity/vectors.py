@@ -42,6 +42,15 @@ def resolve_function(name: str) -> SimilarityFunction:
         ) from None
 
 
+def resolve_functions(names: Sequence[str]) -> tuple[SimilarityFunction, ...]:
+    """Resolve a whole attribute-function tuple once, outside any hot loop.
+
+    ``resolve_function`` costs a dict lookup plus exception machinery; callers
+    that loop over pairs must not pay it per pair per attribute.
+    """
+    return tuple(resolve_function(name) for name in names)
+
+
 @dataclass(frozen=True)
 class SimilarityConfig:
     """How to turn a record pair into a similarity vector.
@@ -99,9 +108,12 @@ def attribute_similarities(
     i, j = canonical_pair(*pair)
     record_i, record_j = table[i], table[j]
     tau = config.attribute_threshold
+    # Resolved once, not per attribute: resolve_function inside the loop was
+    # a dict lookup + try/except per component.
+    functions = resolve_functions(config.functions)
     vector = []
-    for k, name in enumerate(config.functions):
-        similarity = resolve_function(name)(record_i[k], record_j[k])
+    for k, function in enumerate(functions):
+        similarity = function(record_i[k], record_j[k])
         vector.append(similarity if similarity >= tau else 0.0)
     return tuple(vector)
 
@@ -112,10 +124,20 @@ def similarity_matrix(
     """Similarity vectors for many pairs as a ``(len(pairs), m)`` float array.
 
     Row order follows *pairs*; this array is the vertex set of the
-    partial-order graph.
+    partial-order graph.  This is the scalar *reference* implementation; the
+    production pipeline uses :func:`repro.similarity.batch.batch_similarity_matrix`,
+    which is bit-identical but vectorized.
     """
     config.for_table(table)
     matrix = np.empty((len(pairs), config.num_attributes), dtype=np.float64)
+    if not len(pairs):  # explicit empty-input fast path
+        return matrix
+    functions = resolve_functions(config.functions)
+    tau = config.attribute_threshold
     for row, pair in enumerate(pairs):
-        matrix[row] = attribute_similarities(table, pair, config)
+        i, j = canonical_pair(*pair)
+        record_i, record_j = table[i], table[j]
+        for k, function in enumerate(functions):
+            similarity = function(record_i[k], record_j[k])
+            matrix[row, k] = similarity if similarity >= tau else 0.0
     return matrix
