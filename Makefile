@@ -1,19 +1,37 @@
 # Convenience targets for the power-er reproduction.
 #
-#   make test        - tier-1 test suite
-#   make bench-smoke - <60s perf smoke: fast paths must beat the scalar
-#                      references (POWER_BENCH_FAST=1 shrinks the workload)
-#   make bench-perf  - full pipeline benchmark; enforces the 5x vectorize /
-#                      3x construct speedup floors and refreshes
-#                      benchmarks/results/BENCH_pipeline.json
+#   make check        - the default gate: tests + engine smoke + lint
+#   make test         - tier-1 test suite
+#   make engine-smoke - <60s deterministic fault-injection run asserting
+#                       crash-resume converges to the straight-through run
+#   make lint         - ruff over src/tests/benchmarks (skipped with a
+#                       notice when ruff is not installed; config lives in
+#                       pyproject.toml so editors pick it up regardless)
+#   make bench-smoke  - <60s perf smoke: fast paths must beat the scalar
+#                       references (POWER_BENCH_FAST=1 shrinks the workload)
+#   make bench-perf   - full pipeline benchmark; enforces the 5x vectorize /
+#                       3x construct speedup floors and refreshes
+#                       benchmarks/results/BENCH_pipeline.json
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-perf
+.PHONY: check test engine-smoke lint bench-smoke bench-perf
+
+check: test engine-smoke lint
 
 test:
 	$(PYTHON) -m pytest -q
+
+engine-smoke:
+	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/engine_smoke.py
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (config: pyproject.toml [tool.ruff])"; \
+	fi
 
 bench-smoke:
 	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_perf_pipeline.py --check

@@ -1,0 +1,27 @@
+"""Extension bench: the method panel on a faulty crowd platform."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_extension_faults(benchmark, results):
+    rows = run_once(
+        benchmark,
+        ablations.fault_sweep,
+        save_to=results("extension_faults.txt"),
+    )
+    by = {(row[1], row[2]): row for row in rows}
+    rates = sorted({row[1] for row in rows})
+    top = rates[-1]
+    # Rate 0 is the engine's equivalence regression: no faults, no re-posts,
+    # and Power's synchronous quality.
+    assert by[(0.0, "power")][3] >= 0.99
+    assert by[(0.0, "power")][7] == 0 and by[(0.0, "power")][8] == 0
+    # Faults actually bite (re-posts appear) but Power absorbs them: its
+    # few questions give the fault distribution few targets.
+    assert by[(top, "power")][7] > 0
+    assert by[(top, "power")][3] >= 0.95
+    if (top, "gcer") in by:
+        # Question-hungry baselines collapse where Power holds.
+        assert by[(top, "gcer")][3] < by[(top, "power")][3] - 0.2
+        assert by[(top, "gcer")][5] > 10 * by[(top, "power")][5]  # spend gap

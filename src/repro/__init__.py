@@ -21,8 +21,19 @@ from .core import (
     clusters_from_matches,
     pairwise_quality,
 )
-from .crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from .crowd import LatencyModel, PerfectCrowd, SimulatedCrowd, WorkerPool
 from .data import Table, acmpub, cora, load_csv, load_dataset, restaurant, save_csv
+from .engine import (
+    FAULT_PROFILES,
+    BudgetGuard,
+    CrowdEngine,
+    EngineConfig,
+    EngineSession,
+    FaultProfile,
+    Journal,
+    RetryPolicy,
+    Telemetry,
+)
 from .selection import (
     ErrorPolicy,
     MultiPathSelector,
@@ -43,10 +54,20 @@ __version__ = "1.0.0"
 __all__ = [
     "ACDResolver",
     "BASELINES",
+    "BudgetGuard",
+    "CrowdEngine",
+    "EngineConfig",
+    "EngineSession",
     "ErrorPolicy",
+    "FAULT_PROFILES",
+    "FaultProfile",
     "GCERResolver",
+    "Journal",
+    "LatencyModel",
     "MultiPathSelector",
     "PerfectCrowd",
+    "RetryPolicy",
+    "Telemetry",
     "PowerConfig",
     "PowerResolver",
     "QualityReport",

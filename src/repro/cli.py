@@ -6,13 +6,21 @@ Commands:
 * ``stats`` — dataset and partial-order statistics for a CSV.
 * ``resolve`` — run the Power/Power+ pipeline on a CSV (simulated crowd
   from its ``entity_id`` column) and write the resolved clusters.
+* ``simulate`` — drive a resolution run through the :mod:`repro.engine`
+  orchestration runtime (fault injection, retries, budgets, journal,
+  telemetry) on one of the benchmark datasets.
 * ``experiment`` — run one of the paper's figure/table harnesses by name.
+
+The ``experiment`` sub-command's name list and help text are generated
+from :data:`EXPERIMENTS`, so registering a harness there is the *only*
+step needed to expose it (no drift between the registry and the CLI).
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import functools
 import sys
 from pathlib import Path
 
@@ -26,8 +34,8 @@ from .similarity import SimilarityConfig, similar_pairs, similarity_matrix
 EXPERIMENTS = {
     "table2": figures.table2_similarity,
     "table3": figures.table3_datasets,
-    "fig09-11": lambda **kw: figures.accuracy_sweep(mode="real", **kw),
-    "fig12-14": lambda **kw: figures.accuracy_sweep(mode="simulation", **kw),
+    "fig09-11": functools.partial(figures.accuracy_sweep, mode="real"),
+    "fig12-14": functools.partial(figures.accuracy_sweep, mode="simulation"),
     "fig15-17": figures.similarity_function_sweep,
     "fig20": figures.construction_benchmark,
     "fig21-22": figures.grouping_benchmark,
@@ -49,7 +57,26 @@ EXPERIMENTS = {
     "extension-scalability": ablations.scalability_sweep,
     "extension-latency": ablations.latency_compare,
     "extension-assignment": ablations.assignment_compare,
+    "extension-faults": ablations.fault_sweep,
 }
+
+
+def experiments_help() -> str:
+    """One help line per registered experiment, generated from the dict.
+
+    The summary is the first docstring line of the harness (unwrapping
+    ``functools.partial``), so the CLI help can never drift from the
+    registry: add an entry to :data:`EXPERIMENTS` and it shows up here and
+    in the ``choices`` list automatically.
+    """
+    lines = []
+    for name in sorted(EXPERIMENTS):
+        harness = EXPERIMENTS[name]
+        target = harness.func if isinstance(harness, functools.partial) else harness
+        doc = (target.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        lines.append(f"  {name:24s}{summary}")
+    return "\n".join(lines)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,8 +119,45 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run plain Power instead of Power+")
     resolve.add_argument("--seed", type=int, default=0)
 
+    simulate = commands.add_parser(
+        "simulate",
+        help="drive a run through the fault-injecting orchestration engine",
+        description=(
+            "Run one resolution algorithm through the repro.engine runtime: "
+            "selection rounds are posted as HIT batches onto a simulated "
+            "platform with injectable faults, retry/backoff re-posting, "
+            "budget guardrails, a crash-resumable answer journal, and "
+            "per-run telemetry written to the output directory."
+        ),
+    )
+    simulate.add_argument("--dataset", default="restaurant",
+                          choices=["restaurant", "cora", "acmpub"])
+    simulate.add_argument("--fault-profile", default="none",
+                          help="none, flaky, hostile, or scaled:<rate>")
+    simulate.add_argument("--method", default="power+",
+                          choices=["power", "power+", "trans", "acd", "gcer",
+                                   "crowder"])
+    simulate.add_argument("--band", default="90", choices=["70", "80", "90"],
+                          help="simulated worker accuracy band")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--budget-cents", type=float, default=None,
+                          help="money guardrail (incl. re-post surcharge)")
+    simulate.add_argument("--budget-questions", type=int, default=None,
+                          help="distinct-question guardrail")
+    simulate.add_argument("--out-dir", type=Path,
+                          default=Path("benchmarks") / "results",
+                          help="where the journal + telemetry land")
+    simulate.add_argument("--journal", type=Path, default=None,
+                          help="explicit journal path (overrides --out-dir)")
+    simulate.add_argument("--resume", action="store_true",
+                          help="resume from an existing journal instead of "
+                               "starting fresh")
+
     experiment = commands.add_parser(
-        "experiment", help="run one of the paper's figure/table harnesses"
+        "experiment",
+        help="run one of the paper's figure/table harnesses",
+        description="Registered experiments:\n" + experiments_help(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--save-to", type=Path, default=None)
@@ -197,6 +261,52 @@ def _command_resolve(args) -> int:
     return 0
 
 
+def _command_simulate(args) -> int:
+    from .crowd.latency import LatencyModel
+    from .engine import CrowdEngine, EngineConfig, resolve_profile
+    from .experiments.runner import make_crowd, prepare, run_method
+
+    profile = resolve_profile(args.fault_profile)
+    label = profile.name.replace(":", "-")
+    journal_path = args.journal
+    if journal_path is None:
+        journal_path = args.out_dir / f"SIM_{args.dataset}_{label}.journal.jsonl"
+    if not args.resume and journal_path.exists():
+        journal_path.unlink()  # a fresh run must not replay a stale journal
+
+    workload = prepare(args.dataset)
+    crowd = make_crowd(workload, args.band, args.seed, mode="simulation")
+    engine = CrowdEngine(EngineConfig(
+        faults=profile,
+        seed=args.seed,
+        max_cents=args.budget_cents,
+        max_questions=args.budget_questions,
+        journal_path=journal_path,
+        resume=args.resume,
+    ))
+    row = run_method(args.method, workload, crowd, seed=args.seed, engine=engine)
+
+    telemetry = engine.telemetry
+    estimate = LatencyModel().estimate_seconds(row.extras.get("batch_sizes", []))
+    print(f"dataset        : {args.dataset} (band {args.band}, seed {args.seed})")
+    print(f"method         : {args.method}")
+    print(f"fault profile  : {profile.name}")
+    print(f"questions      : {row.questions}")
+    print(f"iterations     : {row.iterations}")
+    print(f"F1             : {row.f_measure:.3f}")
+    print(f"billed         : {row.cost_cents / 100:.2f} USD")
+    print(f"total spent    : {telemetry.total_spent_cents / 100:.2f} USD "
+          f"(re-posts {telemetry.repost_cents / 100:.2f} USD)")
+    print(f"wall clock     : {telemetry.wall_clock_seconds / 60:.1f} min "
+          f"(fault-free closed form {estimate / 60:.1f} min)")
+    print(f"re-posts       : {telemetry.re_posts}  expired: {telemetry.expired}  "
+          f"abandoned: {telemetry.abandoned}  machine: {telemetry.machine_answers}  "
+          f"spam: {telemetry.spam_hijacked}")
+    print(f"journal        : {journal_path}")
+    print(f"telemetry      : {journal_path.with_suffix('.telemetry.json')}")
+    return 0
+
+
 def _command_experiment(args) -> int:
     harness = EXPERIMENTS[args.name]
     harness(save_to=args.save_to)
@@ -210,6 +320,7 @@ def main(argv=None) -> int:
         "generate": _command_generate,
         "stats": _command_stats,
         "resolve": _command_resolve,
+        "simulate": _command_simulate,
         "experiment": _command_experiment,
     }
     try:

@@ -23,8 +23,12 @@ Example:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..crowd.platform import CrowdSession, SimulatedCrowd
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.runtime import CrowdEngine
 from ..crowd.worker import WorkerPool
 from ..data.ground_truth import Pair, pair_truth, true_match_pairs
 from ..data.table import Table
@@ -129,8 +133,8 @@ class PowerResolver:
             attribute_threshold=self.config.attribute_threshold,
         ).for_table(table)
 
-    def build_graph(self, table: Table, pairs: list[Pair]) -> OrderedGraph:
-        """Stages 2-3: similarity vectors and the (grouped) graph.
+    def similarity_vectors(self, table: Table, pairs: list[Pair]):
+        """Stage 2: per-attribute similarity vectors for *pairs*.
 
         Uses the vectorized batch substrate by default (bit-identical to the
         scalar reference; set ``use_batch_similarity=False`` to A/B it).
@@ -140,7 +144,19 @@ class PowerResolver:
             if self.config.use_batch_similarity
             else similarity_matrix
         )
-        vectors = vectorize(table, pairs, self.similarity_config(table))
+        return vectorize(table, pairs, self.similarity_config(table))
+
+    def build_graph(
+        self, table: Table, pairs: list[Pair], vectors=None
+    ) -> OrderedGraph:
+        """Stages 2-3: similarity vectors and the (grouped) graph.
+
+        Args:
+            vectors: precomputed output of :meth:`similarity_vectors`;
+                computed on demand when omitted.
+        """
+        if vectors is None:
+            vectors = self.similarity_vectors(table, pairs)
         return build_graph(
             pairs,
             vectors,
@@ -184,6 +200,7 @@ class PowerResolver:
         table: Table,
         session: CrowdSession | None = None,
         worker_band: str | tuple[float, float] = "90",
+        engine: "CrowdEngine | None" = None,
     ) -> ResolutionResult:
         """Run the full pipeline on *table*.
 
@@ -193,17 +210,44 @@ class PowerResolver:
                 is built from the table's ground truth.
             worker_band: accuracy band for the auto-built simulated crowd
                 (ignored when *session* is given).
+            engine: a :class:`repro.engine.CrowdEngine`; when given (and no
+                explicit *session*), selection rounds are posted through the
+                engine's event-driven platform — faults, retries, budget
+                guardrails, journaling and simulated wall clock included.
+                With a fault-free profile and no budget caps this path is
+                byte-identical to the synchronous one.
         """
+        if engine is not None and session is not None:
+            raise ConfigurationError(
+                "pass either an explicit session or an engine, not both "
+                "(build the session via engine.session(...) yourself instead)"
+            )
         pairs = self.candidate_pairs(table)
         if not pairs:
             raise DataError(
                 f"no candidate pairs survive pruning at threshold "
                 f"{self.config.pruning_threshold} on table {table.name!r}"
             )
-        graph = self.build_graph(table, pairs)
+        vectors = self.similarity_vectors(table, pairs)
+        graph = self.build_graph(table, pairs, vectors=vectors)
         if session is None:
-            session = self.simulated_crowd(table, pairs, worker_band).session()
+            crowd = self.simulated_crowd(table, pairs, worker_band)
+            if engine is not None:
+                scores = vectors.mean(axis=1)
+                session = engine.session(
+                    crowd,
+                    machine_scores={
+                        pair: float(score) for pair, score in zip(pairs, scores)
+                    },
+                )
+            else:
+                session = crowd.session()
         selection = self.make_selector().run(graph, session)
+        if engine is not None:
+            engine.finalize(session)
+            selection.extras["telemetry"] = engine.telemetry.as_dict()
+            selection.extras["wall_clock_seconds"] = engine.wall_clock_seconds
+            selection.extras["batch_sizes"] = list(session.batch_sizes)
         matches = selection.matches
         clusters = clusters_from_matches(len(table), matches)
         quality = None

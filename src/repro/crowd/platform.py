@@ -146,6 +146,25 @@ class CrowdSession:
         questions_asked: distinct pairs this session has asked.
         iterations: number of (non-empty) batches submitted — the paper's
             latency proxy, since each batch is one round trip to the crowd.
+
+    Cost-accounting semantics (pinned — the engine's budget guardrails in
+    :mod:`repro.engine.budget` invert this formula, so it must not drift):
+
+    * Billing is **whole-run pooled**, not per-batch: HITs are counted as
+      ``ceil(distinct_questions / pairs_per_hit)``, then multiplied by the
+      platform's ``z`` assignments and priced at ``cents_per_hit``.  Many
+      sub-HIT rounds (say 25 one-question batches) therefore cost exactly
+      the same as one 25-question batch — the platform is assumed to pack
+      questions from different rounds into shared HITs, as the paper's §7.1
+      pricing (ten pairs per HIT, ten cents) implicitly does when it quotes
+      a single cost per run.  Round-trip *latency* is what distinguishes
+      the two shapes, via ``batch_sizes`` and
+      :class:`~repro.crowd.latency.LatencyModel`, never money.
+    * Rounding is **ceiling, once, at the end**: a final partial HIT is
+      billed in full (11 distinct questions at 10 pairs/HIT → 2 HITs × z),
+      but never more than once across batches.
+    * Re-asked pairs are free: ``_asked`` is a set, so asking a pair again
+      adds no HITs (the platform caches its answer).
     """
 
     def __init__(

@@ -1,0 +1,69 @@
+"""``repro.engine``: asynchronous crowd-orchestration runtime.
+
+The missing layer between the paper's instant-answer oracle and a real
+deployment: an event-driven runtime that posts selection rounds as HIT
+batches, injects platform faults (no-shows, abandonment, stragglers, spam
+bursts), re-posts failures with exponential backoff, enforces money and
+question budgets with graceful machine-only degradation, and journals every
+answer to an append-only WAL so a crashed run resumes to the byte-identical
+final state.
+
+With fault rates at zero and no budget caps the engine is provably inert:
+an engine-driven run matches the synchronous path answer for answer and
+cent for cent, and its simulated wall clock reproduces
+:class:`~repro.crowd.latency.LatencyModel`'s closed form exactly.
+
+Quickstart::
+
+    >>> from repro import PowerResolver, PowerConfig, restaurant
+    >>> from repro.engine import CrowdEngine, EngineConfig
+    >>> engine = CrowdEngine(EngineConfig(faults="flaky", seed=1))
+    >>> result = PowerResolver(PowerConfig(seed=1)).resolve(
+    ...     restaurant(), engine=engine
+    ... )
+    >>> engine.telemetry.re_posts >= 0
+    True
+"""
+
+from .budget import BudgetGuard
+from .events import Event, EventLoop
+from .faults import FAULT_PROFILES, AssignmentFate, FaultProfile, resolve_profile
+from .hit import HIT, HITStatus, RETRYABLE_STATES, TERMINAL_STATES, TRANSITIONS
+from .journal import (
+    JOURNAL_VERSION,
+    Journal,
+    ReplayState,
+    load_journal,
+    read_records,
+    replay_state,
+)
+from .retry import RetryPolicy
+from .runtime import CrowdEngine, EngineConfig, EngineSession, engine_round
+from .telemetry import Telemetry
+
+__all__ = [
+    "AssignmentFate",
+    "BudgetGuard",
+    "CrowdEngine",
+    "EngineConfig",
+    "EngineSession",
+    "Event",
+    "EventLoop",
+    "FAULT_PROFILES",
+    "FaultProfile",
+    "HIT",
+    "HITStatus",
+    "JOURNAL_VERSION",
+    "Journal",
+    "RETRYABLE_STATES",
+    "ReplayState",
+    "RetryPolicy",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "Telemetry",
+    "engine_round",
+    "load_journal",
+    "read_records",
+    "replay_state",
+    "resolve_profile",
+]

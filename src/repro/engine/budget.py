@@ -1,0 +1,117 @@
+"""Per-run budget guardrails with graceful degradation.
+
+A production crowd deployment has a money meter, not just a question
+counter.  :class:`BudgetGuard` enforces two independent caps:
+
+* ``max_questions`` — distinct crowd questions (the anytime knob the
+  selectors already understand);
+* ``max_cents`` — money, under the session's HIT pricing *plus* the
+  re-post surcharge faults incur (an expired or abandoned assignment must
+  be re-paid when re-posted, which the paper's distinct-question accounting
+  cannot see).
+
+When a cap would be exceeded mid-batch the engine does not crash and does
+not silently overspend: it crowd-asks the affordable prefix and answers the
+rest with the *machine fallback* — a similarity-score guess at confidence
+0.5, which Power+'s confidence threshold routes straight to the §6
+histogram path.  Resolution therefore degrades continuously from fully
+crowdsourced to machine-only as the money runs out.
+
+Question affordability under a cents cap inverts the session's billing
+formula ``ceil(questions / pairs_per_hit) * assignments * cents_per_hit``:
+the guard computes the largest question count whose bill (plus surcharges
+already incurred) still fits, so budget enforcement and billing can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class BudgetGuard:
+    """Money/question guardrails for one engine run.
+
+    Attributes:
+        max_cents: cap on total spend (session bill + re-post surcharge);
+            ``None`` disables the money cap.
+        max_questions: cap on distinct crowd questions; ``None`` disables.
+        repost_cents: surcharge accumulated so far for re-posted
+            assignments (fractional cents are real: one assignment of one
+            pair costs ``cents_per_hit / pairs_per_hit`` cents).
+    """
+
+    max_cents: float | None = None
+    max_questions: int | None = None
+    repost_cents: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.max_cents is not None and self.max_cents < 0:
+            raise ConfigurationError(
+                f"max_cents must be >= 0 or None, got {self.max_cents}"
+            )
+        if self.max_questions is not None and self.max_questions < 0:
+            raise ConfigurationError(
+                f"max_questions must be >= 0 or None, got {self.max_questions}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_cents is None and self.max_questions is None
+
+    def charge_repost(self, cents: float) -> None:
+        """Record the surcharge for re-posting one failed assignment."""
+        if cents < 0:
+            raise ConfigurationError(f"repost surcharge must be >= 0, got {cents}")
+        self.repost_cents += cents
+
+    def can_afford_repost(self, cents: float, billed_cents: float) -> bool:
+        """Is there money left to re-post a failed assignment?
+
+        Args:
+            cents: the surcharge the re-post would add.
+            billed_cents: the session's current distinct-question bill.
+        """
+        if self.max_cents is None:
+            return True
+        return billed_cents + self.repost_cents + cents <= self.max_cents
+
+    def affordable_questions(
+        self,
+        asked: int,
+        requested: int,
+        pairs_per_hit: int,
+        cents_per_hit: int,
+        assignments: int,
+    ) -> int:
+        """How many of *requested* new distinct questions fit the budget.
+
+        Args:
+            asked: distinct questions already billed this session.
+            requested: new distinct questions the algorithm wants to ask.
+            pairs_per_hit / cents_per_hit / assignments: the session's
+                pricing (see :class:`repro.crowd.platform.CrowdSession`).
+
+        Returns:
+            A count in ``[0, requested]``; the remainder must be answered
+            by the machine fallback.
+        """
+        if requested <= 0:
+            return 0
+        allowed = requested
+        if self.max_questions is not None:
+            allowed = min(allowed, max(0, self.max_questions - asked))
+        if self.max_cents is not None:
+            per_hit = cents_per_hit * assignments
+            if per_hit <= 0:
+                pass  # free crowd: the money cap cannot bind
+            else:
+                remaining = self.max_cents - self.repost_cents
+                max_hits = math.floor(remaining / per_hit)
+                max_billable = max_hits * pairs_per_hit
+                allowed = min(allowed, max(0, max_billable - asked))
+        return allowed

@@ -1,0 +1,219 @@
+"""Injectable fault profiles: no-shows, abandonment, stragglers, spam.
+
+Real crowd platforms fail in ways the paper's iteration-count latency proxy
+cannot see: HITs sit unclaimed and expire, workers claim assignments and
+walk away, a slow tail of workers stretches every round, and bursts of
+spammers hijack individual questions.  A :class:`FaultProfile` injects all
+four, each with an independent rate knob, so experiments can sweep from the
+paper's ideal platform (``none``) to an adversarial one (``hostile``).
+
+Every fault decision is drawn from an RNG derived from
+``(seed, pair, unit, attempt)`` — the same trick the worker model uses —
+so fault outcomes are *order-independent*: they do not depend on when the
+engine happens to process an assignment.  This is what makes a resumed run
+converge to the same state as a straight-through run, and what makes fault
+sweeps comparable across algorithms (the same pair suffers the same fate
+no matter who asks it, mirroring the paper's shared-answer protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..crowd.aggregate import VoteOutcome
+from ..data.ground_truth import Pair
+from ..exceptions import ConfigurationError
+
+#: Domain-separation tags for the derived RNG streams.
+_FATE_TAG = 0xFA7E
+_SPAM_TAG = 0x5BA3
+
+
+@dataclass(frozen=True)
+class AssignmentFate:
+    """The pre-drawn fate of one assignment attempt.
+
+    Attributes:
+        no_show: nobody claims the HIT; it expires at its timeout.
+        abandon: a worker claims it, works ``abandon_fraction`` of the
+            service time, then walks away.
+        abandon_fraction: fraction of the service time wasted before
+            abandoning, in [0.2, 0.9].
+        service_scale: multiplier on the nominal per-answer service time
+            (1.0 for ordinary workers, > 1 for stragglers).
+    """
+
+    no_show: bool = False
+    abandon: bool = False
+    abandon_fraction: float = 0.5
+    service_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Fault-injection rates for the orchestration engine.
+
+    Attributes:
+        name: label used in telemetry and CLI output.
+        no_show_rate: probability a posted assignment is never claimed.
+        abandon_rate: probability a claimed assignment is abandoned.
+        straggler_rate: probability an answering worker is a straggler.
+        straggler_multiplier: *mean* service-time multiplier for stragglers
+            (the scale is ``1 + (multiplier - 1) * Exp(1)``, a heavy-ish
+            tail whose mean is exactly the multiplier).
+        spammer_burst_rate: probability a question's aggregated answer is
+            hijacked by a burst of spammers (random answer, low confidence).
+    """
+
+    name: str = "none"
+    no_show_rate: float = 0.0
+    abandon_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_multiplier: float = 4.0
+    spammer_burst_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "no_show_rate", "abandon_rate", "straggler_rate", "spammer_burst_rate",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{field_name} must be in [0, 1], got {value}"
+                )
+        if self.straggler_multiplier < 1.0:
+            raise ConfigurationError(
+                f"straggler_multiplier must be >= 1, got {self.straggler_multiplier}"
+            )
+
+    @property
+    def fault_free(self) -> bool:
+        """True when every rate is zero (the paper's ideal platform)."""
+        return (
+            self.no_show_rate == 0.0
+            and self.abandon_rate == 0.0
+            and self.straggler_rate == 0.0
+            and self.spammer_burst_rate == 0.0
+        )
+
+    @classmethod
+    def scaled(cls, rate: float, name: str | None = None) -> "FaultProfile":
+        """A one-knob profile for sweeps: every fault grows with *rate*.
+
+        ``rate`` is the no-show/straggler probability; abandonment runs at
+        half of it and spam bursts at a third, roughly matching the relative
+        frequencies reported for AMT-style platforms.
+        """
+        return cls(
+            name=name if name is not None else f"scaled-{rate:g}",
+            no_show_rate=rate,
+            abandon_rate=rate / 2.0,
+            straggler_rate=rate,
+            spammer_burst_rate=rate / 3.0,
+        )
+
+    def fate(self, seed: int, pair: Pair, unit: int, attempt: int) -> AssignmentFate:
+        """Draw the fate of one assignment attempt, order-independently.
+
+        The draw sequence is fixed (no-show, abandon, abandon fraction,
+        straggler, scale) so adding a fault type later cannot silently
+        reshuffle existing profiles' outcomes.
+        """
+        if self.fault_free:
+            return AssignmentFate()
+        rng = np.random.default_rng(
+            (seed, _FATE_TAG, pair[0], pair[1], unit, attempt)
+        )
+        u_no_show = rng.random()
+        u_abandon = rng.random()
+        abandon_fraction = 0.2 + 0.7 * rng.random()
+        u_straggler = rng.random()
+        tail = rng.exponential()
+        if u_no_show < self.no_show_rate:
+            return AssignmentFate(no_show=True)
+        if u_abandon < self.abandon_rate:
+            return AssignmentFate(abandon=True, abandon_fraction=abandon_fraction)
+        scale = 1.0
+        if u_straggler < self.straggler_rate:
+            scale = 1.0 + (self.straggler_multiplier - 1.0) * tail
+        return AssignmentFate(service_scale=scale)
+
+    def spam_outcome(
+        self, seed: int, pair: Pair, outcome: VoteOutcome
+    ) -> VoteOutcome:
+        """Possibly hijack a question's aggregated answer with a spam burst.
+
+        A hijacked question gets a coin-flip answer with confidence in
+        [0.5, 0.7] — low enough that Power+'s confidence threshold (paper
+        default 0.8) routes it to the BLUE/histogram path, which is exactly
+        the defence the paper's §6 machinery provides.
+        """
+        if self.spammer_burst_rate <= 0.0:
+            return outcome
+        rng = np.random.default_rng((seed, _SPAM_TAG, pair[0], pair[1]))
+        if rng.random() >= self.spammer_burst_rate:
+            return outcome
+        answer = bool(rng.random() < 0.5)
+        confidence = 0.5 + 0.2 * rng.random()
+        z = max(1, len(outcome.votes))
+        agree = max(1, round(confidence * z))
+        votes = tuple(index < agree for index in range(z))
+        votes = tuple(v if answer else not v for v in votes)
+        return VoteOutcome(answer=answer, confidence=confidence, votes=votes)
+
+
+#: Named profiles for the CLI and the ``extension-faults`` experiment.
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "flaky": FaultProfile(
+        name="flaky",
+        no_show_rate=0.15,
+        abandon_rate=0.10,
+        straggler_rate=0.15,
+        straggler_multiplier=4.0,
+        spammer_burst_rate=0.05,
+    ),
+    "hostile": FaultProfile(
+        name="hostile",
+        no_show_rate=0.35,
+        abandon_rate=0.25,
+        straggler_rate=0.30,
+        straggler_multiplier=8.0,
+        spammer_burst_rate=0.15,
+    ),
+}
+
+
+def resolve_profile(profile: "FaultProfile | str") -> FaultProfile:
+    """Accept a profile object, a registry name, or ``name:rate`` syntax.
+
+    ``"scaled:0.2"`` builds :meth:`FaultProfile.scaled` with rate 0.2, so
+    the CLI can sweep without registering every rate by hand.
+    """
+    if isinstance(profile, FaultProfile):
+        return profile
+    if profile.startswith("scaled:"):
+        try:
+            rate = float(profile.split(":", 1)[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad scaled profile {profile!r}; expected scaled:<rate>"
+            ) from None
+        return FaultProfile.scaled(rate)
+    try:
+        return FAULT_PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PROFILES)) + ", scaled:<rate>"
+        raise ConfigurationError(
+            f"unknown fault profile {profile!r}; known: {known}"
+        ) from None
+
+
+__all__ = [
+    "AssignmentFate",
+    "FAULT_PROFILES",
+    "FaultProfile",
+    "resolve_profile",
+]

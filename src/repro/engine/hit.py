@@ -1,0 +1,132 @@
+"""HIT lifecycle state machine.
+
+The engine's unit of platform work is one *assignment*: one worker judging
+one record pair once.  A question asked with redundancy ``z`` therefore
+fans out into ``z`` HITs, mirroring how AMT prices and tracks assignments
+individually even when they are grouped for posting (the paper's pricing —
+ten pairs per HIT, ten cents, ``z`` assignments — lives unchanged in
+:class:`repro.crowd.platform.CrowdSession`; this module only models the
+*lifecycle* of each assignment).
+
+States and legal transitions::
+
+    POSTED ──assign──▶ ASSIGNED ──answer──▶ ANSWERED   (terminal, success)
+      │                    │
+      │ expire             │ abandon
+      ▼                    ▼
+    EXPIRED            ABANDONED                        (terminal, retryable)
+
+An EXPIRED HIT sat unclaimed past its assignment timeout (worker no-show);
+an ABANDONED one was claimed but never submitted.  Both are terminal for
+*this attempt* — the retry policy decides whether a fresh attempt (a new
+``HIT`` with ``attempt + 1``) is re-posted after backoff.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..data.ground_truth import Pair
+from ..exceptions import EngineError
+
+
+class HITStatus(enum.Enum):
+    """Lifecycle states of a single question-assignment."""
+
+    POSTED = "posted"
+    ASSIGNED = "assigned"
+    ANSWERED = "answered"
+    EXPIRED = "expired"
+    ABANDONED = "abandoned"
+
+
+#: Legal state transitions; anything else raises :class:`EngineError`.
+TRANSITIONS: dict[HITStatus, frozenset[HITStatus]] = {
+    HITStatus.POSTED: frozenset({HITStatus.ASSIGNED, HITStatus.EXPIRED}),
+    HITStatus.ASSIGNED: frozenset({HITStatus.ANSWERED, HITStatus.ABANDONED}),
+    HITStatus.ANSWERED: frozenset(),
+    HITStatus.EXPIRED: frozenset(),
+    HITStatus.ABANDONED: frozenset(),
+}
+
+#: States from which this attempt can never progress.
+TERMINAL_STATES = frozenset(
+    {HITStatus.ANSWERED, HITStatus.EXPIRED, HITStatus.ABANDONED}
+)
+
+#: Terminal states that a retry policy may turn into a fresh attempt.
+RETRYABLE_STATES = frozenset({HITStatus.EXPIRED, HITStatus.ABANDONED})
+
+
+@dataclass
+class HIT:
+    """One question-assignment working its way through the platform.
+
+    Attributes:
+        pair: the record pair being judged.
+        unit: which of the question's ``z`` redundant assignments this is.
+        attempt: 1-based attempt counter; re-posts increment it.
+        posted_at: simulated time this attempt was posted.
+        status: current lifecycle state.
+        assigned_at / finished_at: transition timestamps (simulated seconds).
+        worker_slot: index of the simulated worker slot that claimed it.
+    """
+
+    pair: Pair
+    unit: int
+    attempt: int = 1
+    posted_at: float = 0.0
+    status: HITStatus = field(default=HITStatus.POSTED)
+    assigned_at: float | None = None
+    finished_at: float | None = None
+    worker_slot: int | None = None
+
+    def _transition(self, new: HITStatus) -> None:
+        if new not in TRANSITIONS[self.status]:
+            raise EngineError(
+                f"illegal HIT transition {self.status.value} -> {new.value} "
+                f"for {self.pair} unit {self.unit} attempt {self.attempt}"
+            )
+        self.status = new
+
+    def assign(self, time: float, worker_slot: int) -> None:
+        """A worker claims the HIT."""
+        self._transition(HITStatus.ASSIGNED)
+        self.assigned_at = time
+        self.worker_slot = worker_slot
+
+    def answer(self, time: float) -> None:
+        """The claiming worker submits a judgement."""
+        self._transition(HITStatus.ANSWERED)
+        self.finished_at = time
+
+    def expire(self, time: float) -> None:
+        """No worker claimed the HIT before its assignment timeout."""
+        self._transition(HITStatus.EXPIRED)
+        self.finished_at = time
+
+    def abandon(self, time: float) -> None:
+        """The claiming worker walked away without submitting."""
+        self._transition(HITStatus.ABANDONED)
+        self.finished_at = time
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def retryable(self) -> bool:
+        """Did this attempt fail in a way a re-post could fix?"""
+        return self.status in RETRYABLE_STATES
+
+    def repost(self, time: float) -> "HIT":
+        """A fresh attempt of the same assignment (after backoff)."""
+        if not self.retryable:
+            raise EngineError(
+                f"cannot re-post a HIT in state {self.status.value}; "
+                "only expired or abandoned attempts are retryable"
+            )
+        return HIT(
+            pair=self.pair, unit=self.unit, attempt=self.attempt + 1, posted_at=time
+        )

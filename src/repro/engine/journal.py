@@ -1,0 +1,224 @@
+"""Append-only JSONL answer journal (write-ahead log) for crash resume.
+
+Crowd answers are the only expensive, irreplaceable state a resolution run
+accumulates: the graph, the coloring, and the clusters are all cheap
+deterministic functions of (dataset, config, answers).  The journal
+therefore logs every platform event as one JSON line, flushed as written,
+and resume is simply *replay answers, re-run the pipeline*: journaled
+questions hit the pre-seeded platform cache instantly and are not re-paid,
+so a resumed run converges to the byte-identical final state of a
+straight-through run.
+
+Record types::
+
+    header    run metadata (version, seed, profile, pricing)
+    round     a batch posted to the crowd (size, simulated clock)
+    posted / assigned / answered_unit / expired / abandoned
+              per-assignment lifecycle events (pair, unit, attempt, clock)
+    answer    the aggregated platform answer for one pair  ← the WAL payload
+    machine   a budget-degraded machine-fallback answer for one pair
+    budget    a budget checkpoint (billed + surcharge cents)
+    final     run summary (questions, cost, wall clock)
+
+A crash can truncate the last line mid-write; :func:`read_records` treats
+anything after the first undecodable line as lost and (optionally) repairs
+the file by truncating it back to the last intact record, which is exactly
+the recovery contract of a textbook WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+from ..crowd.aggregate import VoteOutcome
+from ..data.ground_truth import Pair, canonical_pair
+from ..exceptions import JournalError
+
+#: Bump when the record schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+def encode_outcome(outcome: VoteOutcome) -> dict[str, Any]:
+    return {
+        "answer": bool(outcome.answer),
+        "confidence": float(outcome.confidence),
+        "votes": [bool(v) for v in outcome.votes],
+    }
+
+
+def decode_outcome(record: dict[str, Any]) -> VoteOutcome:
+    try:
+        return VoteOutcome(
+            answer=bool(record["answer"]),
+            confidence=float(record["confidence"]),
+            votes=tuple(bool(v) for v in record["votes"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise JournalError(f"malformed answer record {record!r}: {error}") from None
+
+
+class Journal:
+    """An append-only JSONL event log, flushed line by line.
+
+    Args:
+        path: file to append to; parent directories are created.  The file
+            is opened lazily on first append so a read-only replay never
+            touches the filesystem.
+        fsync: when True, ``os.fsync`` after every record — the durable
+            setting a real deployment would use; tests leave it off.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle: IO[str] | None = None
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Write one event record as a JSON line and flush it."""
+        if "type" not in record:
+            raise JournalError(f"journal records need a 'type' field: {record!r}")
+        handle = self._file()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_records(
+    path: str | Path, repair: bool = False
+) -> tuple[list[dict[str, Any]], bool]:
+    """Read every intact record; optionally truncate off a torn tail.
+
+    Returns:
+        ``(records, truncated)`` where *truncated* is True when the file
+        ended in a partial/corrupt line (the classic mid-write crash).
+        With ``repair=True`` the file is truncated back to the last intact
+        record so subsequent appends produce a valid journal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], False
+    records: list[dict[str, Any]] = []
+    good_bytes = 0
+    truncated = False
+    with path.open("rb") as handle:
+        for line in handle:
+            if not line.endswith(b"\n"):
+                truncated = True
+                break
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                truncated = True
+                break
+            if not isinstance(record, dict) or "type" not in record:
+                truncated = True
+                break
+            records.append(record)
+            good_bytes += len(line)
+    if truncated and repair:
+        with path.open("rb+") as handle:
+            handle.truncate(good_bytes)
+    return records, truncated
+
+
+@dataclass
+class ReplayState:
+    """Resolver-relevant state reconstructed from a journal.
+
+    Attributes:
+        header: the run's header record (None for headerless fragments).
+        answers: aggregated crowd answer per pair — the state that
+            determines coloring, clustering, and cost on resume.
+        machine_answers: budget-degraded machine answers per pair.
+        rounds: crowd rounds journaled so far.
+        reposts: re-posted assignments journaled so far.
+        expired / abandoned: failed-assignment counts.
+        last_clock: latest simulated clock seen in any record.
+        final: the ``final`` summary record when the run completed.
+    """
+
+    header: dict[str, Any] | None = None
+    answers: dict[Pair, VoteOutcome] = field(default_factory=dict)
+    machine_answers: dict[Pair, bool] = field(default_factory=dict)
+    rounds: int = 0
+    reposts: int = 0
+    expired: int = 0
+    abandoned: int = 0
+    last_clock: float = 0.0
+    final: dict[str, Any] | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Did the journaled run finish (reach its ``final`` record)?"""
+        return self.final is not None
+
+
+def replay_state(records: list[dict[str, Any]]) -> ReplayState:
+    """Fold journal records into the state a resumed run needs.
+
+    Replay is a pure left fold: the same record sequence always produces
+    the same state, and a prefix of a run's records produces exactly the
+    state the run had at that point — the property the crash-resume tests
+    lean on.
+    """
+    state = ReplayState()
+    for record in records:
+        kind = record.get("type")
+        clock = record.get("clock")
+        if isinstance(clock, (int, float)):
+            state.last_clock = max(state.last_clock, float(clock))
+        if kind == "header":
+            version = record.get("version")
+            if version != JOURNAL_VERSION:
+                raise JournalError(
+                    f"journal version {version!r} is not supported "
+                    f"(expected {JOURNAL_VERSION})"
+                )
+            state.header = record
+        elif kind == "round":
+            state.rounds += 1
+        elif kind == "answer":
+            pair = canonical_pair(*record["pair"])
+            state.answers[pair] = decode_outcome(record)
+        elif kind == "machine":
+            pair = canonical_pair(*record["pair"])
+            state.machine_answers[pair] = bool(record["answer"])
+        elif kind == "posted":
+            if record.get("attempt", 1) > 1:
+                state.reposts += 1
+        elif kind == "expired":
+            state.expired += 1
+        elif kind == "abandoned":
+            state.abandoned += 1
+        # assigned / answered_unit / budget / final need no folding beyond:
+        elif kind == "final":
+            state.final = record
+    return state
+
+
+def load_journal(path: str | Path, repair: bool = True) -> ReplayState:
+    """One-call resume entry point: read (repairing a torn tail) and fold."""
+    records, _ = read_records(path, repair=repair)
+    return replay_state(records)

@@ -1,0 +1,79 @@
+"""Timeout and exponential-backoff re-posting policies.
+
+When a HIT expires unclaimed or is abandoned mid-work, the engine re-posts
+a fresh attempt after a backoff delay.  Immediate re-posting is both
+unrealistic (a HIT nobody wanted a second ago will not suddenly become
+attractive) and dangerous under systematic faults (a tight re-post loop
+burns simulated time without progress), so the delay grows geometrically
+with the attempt number, capped, until the attempt budget runs out.
+
+A question whose every assignment exhausts its attempts degrades to the
+engine's machine-only fallback rather than wedging the run — see
+:mod:`repro.engine.budget` for the same philosophy applied to money.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Re-posting behaviour for failed (expired/abandoned) assignments.
+
+    Attributes:
+        max_attempts: total attempts per assignment, including the first
+            posting.  ``1`` disables re-posting entirely.
+        assign_timeout_seconds: how long a posted HIT may sit unclaimed
+            before the platform expires it (AMT's assignment duration).
+        backoff_base_seconds: delay before the second attempt.
+        backoff_factor: multiplier applied per further attempt.
+        backoff_max_seconds: ceiling on any single backoff delay.
+    """
+
+    max_attempts: int = 6
+    assign_timeout_seconds: float = 600.0
+    backoff_base_seconds: float = 60.0
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.assign_timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"assign_timeout_seconds must be > 0, got {self.assign_timeout_seconds}"
+            )
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_base_seconds must be >= 0, got {self.backoff_base_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_seconds < self.backoff_base_seconds:
+            raise ConfigurationError(
+                "backoff_max_seconds must be >= backoff_base_seconds, got "
+                f"{self.backoff_max_seconds} < {self.backoff_base_seconds}"
+            )
+
+    def can_retry(self, attempt: int) -> bool:
+        """May a failed *attempt* (1-based) be re-posted?"""
+        return attempt < self.max_attempts
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Delay before re-posting after failed *attempt* (1-based).
+
+        Attempt 1's failure waits ``backoff_base_seconds``; each later
+        failure multiplies by ``backoff_factor``, capped at
+        ``backoff_max_seconds``.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        delay = self.backoff_base_seconds * self.backoff_factor ** (attempt - 1)
+        return min(delay, self.backoff_max_seconds)

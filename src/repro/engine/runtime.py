@@ -1,0 +1,548 @@
+"""The orchestration runtime: engine, adapter session, round simulation.
+
+:class:`CrowdEngine` owns one run's event loop, fault profile, retry
+policy, budget guard, journal, and telemetry.  :class:`EngineSession` is
+the *asynchronous crowd adapter*: it subclasses
+:class:`~repro.crowd.platform.CrowdSession`, so every selector and baseline
+that speaks the ``ask_batch`` protocol runs through the engine unchanged —
+but instead of answering instantly, each batch is posted as HITs onto the
+event loop, worked through simulated worker slots with injected faults,
+re-posted under the retry policy, and guarded by the budget.
+
+Equivalence contract (tested in ``tests/test_engine_equivalence.py``): with
+a fault-free profile and no budget caps, an engine-driven run is
+*byte-identical* to the synchronous path — same answers (the backing
+:class:`SimulatedCrowd` still produces them, order-independently), same
+distinct-question count, same iterations and cents — and its simulated
+wall clock equals :meth:`LatencyModel.estimate_seconds` over the session's
+``batch_sizes`` exactly, because a round of ``q`` questions × ``z``
+assignments on ``W`` always-free slots with deterministic service time
+``s`` has makespan ``overhead + ceil(q z / W) · s``, the model's closed
+form.  The engine is therefore a strict generalisation: faults and budgets
+only *add* behaviour, never perturb the fault-free baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..crowd.aggregate import VoteOutcome
+from ..crowd.latency import LatencyModel
+from ..crowd.platform import CrowdSession, SimulatedCrowd
+from ..data.ground_truth import Pair, canonical_pair
+from ..exceptions import ConfigurationError, EngineError, SimulatedCrash
+from .budget import BudgetGuard
+from .events import EventLoop
+from .faults import FaultProfile, resolve_profile
+from .hit import HIT
+from .journal import JOURNAL_VERSION, Journal, load_journal
+from .retry import RetryPolicy
+from .telemetry import Telemetry
+
+
+@dataclass
+class EngineConfig:
+    """Configuration for one engine run.
+
+    Attributes:
+        latency: timing parameters; ``assignments`` must match the crowd's
+            redundancy so the closed-form estimator stays a valid
+            cross-check of the simulated clock.
+        faults: a :class:`FaultProfile`, a registry name (``"flaky"``), or
+            ``"scaled:<rate>"``.
+        retry: timeout/backoff re-posting policy.
+        max_cents / max_questions: budget guardrails (None = uncapped).
+        seed: seed for fault fates and spam bursts (worker answers keep
+            their own pool seed, as in the synchronous path).
+        journal_path: append-only JSONL WAL; None disables journaling.
+        telemetry_path: where ``finalize`` writes telemetry JSON; defaults
+            to ``<journal stem>.telemetry.json`` when a journal is set.
+        resume: preload answers from an existing journal at *journal_path*
+            (repairing a torn tail) so the resumed run re-uses them.
+        fsync: fsync the journal after every record (durability over speed).
+        crash_after: test-only — raise :class:`SimulatedCrash` after this
+            many aggregated answers, leaving a partial journal behind.
+        event_log_limit: recent-events window kept in telemetry.
+    """
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    faults: FaultProfile | str = "none"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_cents: float | None = None
+    max_questions: int | None = None
+    seed: int = 0
+    journal_path: str | Path | None = None
+    telemetry_path: str | Path | None = None
+    resume: bool = False
+    fsync: bool = False
+    crash_after: int | None = None
+    event_log_limit: int = 1000
+
+
+class CrowdEngine:
+    """One run's orchestration runtime (clock, faults, budget, journal)."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.profile = resolve_profile(self.config.faults)
+        self.loop = EventLoop()
+        self.telemetry = Telemetry(event_log_limit=self.config.event_log_limit)
+        self.guard = BudgetGuard(
+            max_cents=self.config.max_cents, max_questions=self.config.max_questions
+        )
+        self.journal: Journal | None = None
+        self.preloaded_answers: dict[Pair, VoteOutcome] = {}
+        self.preloaded_machine: dict[Pair, bool] = {}
+        if self.config.journal_path is not None:
+            path = Path(self.config.journal_path)
+            if self.config.resume:
+                state = load_journal(path, repair=True)
+                self.preloaded_answers = state.answers
+                self.preloaded_machine = state.machine_answers
+            self.journal = Journal(path, fsync=self.config.fsync)
+
+    # ------------------------------------------------------------------ #
+    # Session construction
+    # ------------------------------------------------------------------ #
+
+    def session(
+        self,
+        crowd: SimulatedCrowd,
+        pairs_per_hit: int = 10,
+        cents_per_hit: int = 10,
+        machine_scores: dict[Pair, float] | None = None,
+    ) -> "EngineSession":
+        """Open the engine-driven ledger over *crowd*.
+
+        Args:
+            crowd: the answer backend (any :class:`SimulatedCrowd`).
+            pairs_per_hit / cents_per_hit: the paper's HIT pricing.
+            machine_scores: per-pair similarity scores backing the
+                machine-only fallback when the budget runs out.
+        """
+        if crowd.assignments != self.config.latency.assignments:
+            raise ConfigurationError(
+                f"latency model assumes z={self.config.latency.assignments} "
+                f"assignments but the crowd uses z={crowd.assignments}; "
+                "align them so the wall-clock cross-check stays meaningful"
+            )
+        # Resume: seed the platform cache so journaled questions are
+        # answered instantly and never re-sampled (a real crowd cannot be
+        # re-asked; the journal *is* the answer of record).
+        for pair, outcome in self.preloaded_answers.items():
+            crowd._cache.setdefault(pair, outcome)
+        self._write_header(crowd, pairs_per_hit, cents_per_hit)
+        return EngineSession(
+            self,
+            crowd,
+            pairs_per_hit=pairs_per_hit,
+            cents_per_hit=cents_per_hit,
+            machine_scores=machine_scores,
+        )
+
+    def _write_header(
+        self, crowd: SimulatedCrowd, pairs_per_hit: int, cents_per_hit: int
+    ) -> None:
+        if self.journal is None:
+            return
+        path = self.journal.path
+        if path.exists() and path.stat().st_size > 0:
+            return  # resuming an existing journal: keep its header
+        self.journal.append(
+            {
+                "type": "header",
+                "version": JOURNAL_VERSION,
+                "seed": self.config.seed,
+                "profile": self.profile.name,
+                "assignments": crowd.assignments,
+                "pairs_per_hit": pairs_per_hit,
+                "cents_per_hit": cents_per_hit,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Run lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Current simulated wall clock for this run."""
+        return self.loop.now
+
+    def finalize(self, session: "EngineSession") -> Telemetry:
+        """Seal the run: final journal record, telemetry file, close WAL."""
+        self.telemetry.wall_clock_seconds = self.loop.now
+        self.telemetry.billed_cents = session.cost_cents
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "type": "final",
+                    "questions": session.questions_asked,
+                    "cost_cents": session.cost_cents,
+                    "repost_cents": round(self.guard.repost_cents, 6),
+                    "clock": self.loop.now,
+                }
+            )
+            self.journal.close()
+        telemetry_path = self.config.telemetry_path
+        if telemetry_path is None and self.config.journal_path is not None:
+            journal_path = Path(self.config.journal_path)
+            telemetry_path = journal_path.with_suffix(".telemetry.json")
+        if telemetry_path is not None:
+            self.telemetry.write(telemetry_path)
+        return self.telemetry
+
+    def _journal(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+
+class EngineSession(CrowdSession):
+    """Asynchronous crowd adapter: a drop-in :class:`CrowdSession` whose
+    batches run through the engine's event loop instead of answering
+    instantly.
+
+    Accounting semantics match the parent exactly (distinct-question
+    billing, per-batch ``batch_sizes``); see the class docstring of
+    :class:`CrowdSession` for the pinned rounding rules the budget guard
+    relies on.  Pairs the budget cannot afford are settled by the machine
+    fallback and are *not* billed, counted as questions, or timed.
+    """
+
+    def __init__(
+        self,
+        engine: CrowdEngine,
+        crowd: SimulatedCrowd,
+        pairs_per_hit: int = 10,
+        cents_per_hit: int = 10,
+        machine_scores: dict[Pair, float] | None = None,
+    ) -> None:
+        super().__init__(crowd, pairs_per_hit=pairs_per_hit, cents_per_hit=cents_per_hit)
+        self.engine = engine
+        self.machine_scores = (
+            None
+            if machine_scores is None
+            else {canonical_pair(*pair): float(s) for pair, s in machine_scores.items()}
+        )
+        #: Machine-fallback outcomes issued so far (stable across re-asks).
+        self._machine_outcomes: dict[Pair, VoteOutcome] = dict()
+        for pair, answer in engine.preloaded_machine.items():
+            self._machine_outcomes[pair] = self._machine_outcome(pair, answer)
+
+    # ------------------------------------------------------------------ #
+    # The adapter protocol
+    # ------------------------------------------------------------------ #
+
+    def ask_batch(self, pairs) -> dict[Pair, VoteOutcome]:
+        """Post a batch as HITs and run the event loop until it resolves."""
+        batch = [canonical_pair(*pair) for pair in pairs]
+        if not batch:
+            return {}
+        engine = self.engine
+        answers: dict[Pair, VoteOutcome] = {}
+
+        # Pairs already degraded to machine answers stay machine answers.
+        crowd_candidates: list[Pair] = []
+        for pair in batch:
+            cached = self._machine_outcomes.get(pair)
+            if cached is not None:
+                answers[pair] = cached
+            else:
+                crowd_candidates.append(pair)
+
+        # Budget guardrail: how many *new* distinct questions fit?
+        new_pairs: list[Pair] = []
+        seen: set[Pair] = set()
+        for pair in crowd_candidates:
+            if pair not in self._asked and pair not in seen:
+                seen.add(pair)
+                new_pairs.append(pair)
+        affordable = engine.guard.affordable_questions(
+            asked=len(self._asked),
+            requested=len(new_pairs),
+            pairs_per_hit=self.pairs_per_hit,
+            cents_per_hit=self.cents_per_hit,
+            assignments=self.crowd.assignments,
+        )
+        allowed = set(new_pairs[:affordable])
+        degraded = new_pairs[affordable:]
+        crowd_batch = [
+            pair
+            for pair in crowd_candidates
+            if pair in self._asked or pair in allowed
+        ]
+
+        if crowd_batch:
+            self.iterations += 1
+            self.batch_sizes.append(len(crowd_batch))
+            resolved, failed = engine_round(engine, self, crowd_batch)
+            for pair in resolved:
+                self._asked.add(pair)
+            answers.update(resolved)
+            # Assignments that exhausted every retry leave their pair
+            # crowd-unanswerable: degrade it rather than wedge the run.
+            degraded = list(degraded) + [p for p in failed if p not in resolved]
+
+        for pair in degraded:
+            answers[pair] = self._degrade(pair)
+        engine.telemetry.billed_cents = self.cost_cents
+        crash_after = engine.config.crash_after
+        if crash_after is not None and engine.telemetry.answered_pairs >= crash_after:
+            raise SimulatedCrash(
+                f"simulated crash after {engine.telemetry.answered_pairs} answers"
+            )
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # Machine-only degradation
+    # ------------------------------------------------------------------ #
+
+    def _machine_outcome(self, pair: Pair, answer: bool) -> VoteOutcome:
+        return VoteOutcome(answer=answer, confidence=0.5, votes=(answer,))
+
+    def _degrade(self, pair: Pair) -> VoteOutcome:
+        cached = self._machine_outcomes.get(pair)
+        if cached is not None:
+            return cached
+        if self.machine_scores is not None:
+            answer = self.machine_scores.get(pair, 0.0) >= 0.5
+        else:
+            answer = False
+        outcome = self._machine_outcome(pair, answer)
+        self._machine_outcomes[pair] = outcome
+        self.engine.telemetry.machine_answers += 1
+        self.engine._journal(
+            {
+                "type": "machine",
+                "pair": list(pair),
+                "answer": bool(answer),
+                "clock": self.engine.loop.now,
+            }
+        )
+        return outcome
+
+    @property
+    def machine_answered(self) -> int:
+        """Pairs settled by the machine fallback so far."""
+        return len(self._machine_outcomes)
+
+
+def engine_round(
+    engine: CrowdEngine, session: EngineSession, batch: list[Pair]
+) -> tuple[dict[Pair, VoteOutcome], set[Pair]]:
+    """Simulate one crowd round: post, assign, fault, retry, aggregate.
+
+    Timing model (matching :meth:`LatencyModel.batch_seconds` term for
+    term): the round is posted at the current clock; after the fixed
+    ``round_overhead_seconds``, ``concurrent_workers`` simulated slots pull
+    assignment units FIFO, each unit taking ``seconds_per_answer`` scaled
+    by its fault fate.  A pair resolves when all ``z`` of its units reach a
+    terminal state; its aggregated answer then comes from the platform
+    (identical to the synchronous path) with an optional spam-burst hijack.
+
+    Returns:
+        ``(resolved, failed)`` — aggregated outcomes per pair, and pairs
+        whose every assignment exhausted the retry budget (zero votes
+        collected; the caller degrades them to machine answers).
+    """
+    loop = engine.loop
+    latency = engine.config.latency
+    retry = engine.config.retry
+    profile = engine.profile
+    telemetry = engine.telemetry
+    seed = engine.config.seed
+    crowd = session.crowd
+    z = crowd.assignments
+    service = latency.seconds_per_answer
+    surcharge = session.cents_per_hit / session.pairs_per_hit
+
+    t0 = loop.now
+    telemetry.rounds += 1
+    engine._journal(
+        {"type": "round", "round": telemetry.rounds, "size": len(batch), "clock": t0}
+    )
+
+    resolved: dict[Pair, VoteOutcome] = {}
+    failed: set[Pair] = set()
+    # A batch may (rarely) repeat a pair; like the synchronous path, each
+    # occurrence is timed in full, so units are numbered across occurrences
+    # and a pair resolves once its *total* unit count is terminal.
+    units_needed: dict[Pair, int] = {}
+    done_units: dict[Pair, int] = {}
+    ok_units: dict[Pair, int] = {}
+    ready_units: deque[HIT] = deque()
+    fates = {}
+    free_slots: list[int] = []
+
+    def resolve_pair(pair: Pair) -> None:
+        if ok_units[pair] == 0:
+            failed.add(pair)
+            return
+        outcome = crowd.answer(pair)
+        hijacked = profile.spam_outcome(seed, pair, outcome)
+        if hijacked is not outcome:
+            telemetry.spam_hijacked += 1
+            outcome = hijacked
+        resolved[pair] = outcome
+        telemetry.answered_pairs += 1
+        engine._journal(
+            {
+                "type": "answer",
+                "pair": list(pair),
+                "clock": loop.now,
+                **{
+                    "answer": bool(outcome.answer),
+                    "confidence": float(outcome.confidence),
+                    "votes": [bool(v) for v in outcome.votes],
+                },
+            }
+        )
+
+    def unit_done(pair: Pair, success: bool) -> None:
+        done_units[pair] += 1
+        if success:
+            ok_units[pair] += 1
+        if done_units[pair] == units_needed[pair]:
+            resolve_pair(pair)
+
+    def maybe_retry(hit: HIT) -> None:
+        if retry.can_retry(hit.attempt) and engine.guard.can_afford_repost(
+            surcharge, session.cost_cents
+        ):
+            engine.guard.charge_repost(surcharge)
+            telemetry.repost_cents = engine.guard.repost_cents
+            delay = retry.backoff_seconds(hit.attempt)
+            repost_time = loop.now + delay
+            loop.schedule(delay, post, hit.repost(repost_time))
+        else:
+            telemetry.failed_units += 1
+            unit_done(hit.pair, success=False)
+
+    def on_expire(hit: HIT) -> None:
+        hit.expire(loop.now)
+        telemetry.expired += 1
+        telemetry.record_event(
+            "expired", loop.now, pair=list(hit.pair), attempt=hit.attempt
+        )
+        engine._journal(
+            {
+                "type": "expired",
+                "pair": list(hit.pair),
+                "unit": hit.unit,
+                "attempt": hit.attempt,
+                "clock": loop.now,
+            }
+        )
+        maybe_retry(hit)
+
+    def on_abandon(hit: HIT, slot: int) -> None:
+        hit.abandon(loop.now)
+        telemetry.abandoned += 1
+        telemetry.record_event(
+            "abandoned", loop.now, pair=list(hit.pair), attempt=hit.attempt
+        )
+        engine._journal(
+            {
+                "type": "abandoned",
+                "pair": list(hit.pair),
+                "unit": hit.unit,
+                "attempt": hit.attempt,
+                "clock": loop.now,
+            }
+        )
+        heapq.heappush(free_slots, slot)
+        maybe_retry(hit)
+        dispatch()
+
+    def on_answer(hit: HIT, slot: int) -> None:
+        hit.answer(loop.now)
+        telemetry.answered_units += 1
+        engine._journal(
+            {
+                "type": "answered_unit",
+                "pair": list(hit.pair),
+                "unit": hit.unit,
+                "attempt": hit.attempt,
+                "clock": loop.now,
+            }
+        )
+        heapq.heappush(free_slots, slot)
+        unit_done(hit.pair, success=True)
+        dispatch()
+
+    def dispatch() -> None:
+        while free_slots and ready_units:
+            hit = ready_units.popleft()
+            slot = heapq.heappop(free_slots)
+            hit.assign(loop.now, slot)
+            telemetry.assigned += 1
+            engine._journal(
+                {
+                    "type": "assigned",
+                    "pair": list(hit.pair),
+                    "unit": hit.unit,
+                    "attempt": hit.attempt,
+                    "slot": slot,
+                    "clock": loop.now,
+                }
+            )
+            fate = fates.pop((hit.pair, hit.unit, hit.attempt))
+            if fate.abandon:
+                busy = service * fate.abandon_fraction
+                loop.schedule(busy, on_abandon, hit, slot)
+            else:
+                loop.schedule(service * fate.service_scale, on_answer, hit, slot)
+
+    def post(hit: HIT) -> None:
+        telemetry.posted += 1
+        if hit.attempt > 1:
+            telemetry.re_posts += 1
+            telemetry.record_event(
+                "re-posted", loop.now, pair=list(hit.pair), attempt=hit.attempt
+            )
+        engine._journal(
+            {
+                "type": "posted",
+                "pair": list(hit.pair),
+                "unit": hit.unit,
+                "attempt": hit.attempt,
+                "clock": loop.now,
+            }
+        )
+        fate = profile.fate(seed, hit.pair, hit.unit, hit.attempt)
+        if fate.no_show:
+            expire_at = max(loop.now, hit.posted_at + retry.assign_timeout_seconds)
+            loop.schedule_at(expire_at, on_expire, hit)
+            return
+        fates[(hit.pair, hit.unit, hit.attempt)] = fate
+        ready_units.append(hit)
+        dispatch()
+
+    def open_round() -> None:
+        for slot in range(latency.concurrent_workers):
+            heapq.heappush(free_slots, slot)
+        dispatch()
+
+    # Post every unit at t0; workers come online after the round overhead.
+    for pair in batch:
+        base = units_needed.get(pair, 0)
+        if base == 0:
+            done_units[pair] = 0
+            ok_units[pair] = 0
+        units_needed[pair] = base + z
+        for unit in range(base, base + z):
+            post(HIT(pair=pair, unit=unit, attempt=1, posted_at=t0))
+    loop.schedule(latency.round_overhead_seconds, open_round)
+
+    expected = len(units_needed)
+    loop.run_until(lambda: len(resolved) + len(failed) >= expected)
+    if len(loop) != 0:
+        # Every unit must be terminal once all pairs resolved; anything
+        # left would leak simulated time into the next round.
+        raise EngineError(
+            f"round finished with {len(loop)} events still pending"
+        )
+    return resolved, failed

@@ -30,3 +30,17 @@ class CrowdError(PowerError):
 
 class SelectionError(PowerError):
     """A question-selection algorithm reached an invalid state."""
+
+
+class EngineError(PowerError):
+    """The crowd-orchestration engine reached an invalid state (illegal HIT
+    transition, corrupt journal header, misconfigured runtime)."""
+
+
+class JournalError(EngineError):
+    """The answer journal is unusable (unreadable header, version mismatch)."""
+
+
+class SimulatedCrash(EngineError):
+    """Raised by the engine's test-only ``crash_after`` knob to abort a run
+    mid-flight, leaving a partial journal behind for crash-resume tests."""

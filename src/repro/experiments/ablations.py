@@ -458,6 +458,77 @@ def latency_compare(
     return rows
 
 
+def fault_sweep(
+    rates: Sequence[float] = (0.0, 0.1, 0.25),
+    dataset: str = "restaurant",
+    band: str = "90",
+    seed: int = 0,
+    methods: Sequence[str] = ("power", "power+", "trans", "gcer"),
+    telemetry_dir: str = "benchmarks/results",
+    save_to=None,
+) -> list[list]:
+    """Extension: Power vs. baselines on a faulty crowd platform.
+
+    Drives every method through the :mod:`repro.engine` orchestration
+    runtime while a one-knob fault profile (worker no-shows, abandonment,
+    straggler tails, spam bursts — :meth:`FaultProfile.scaled`) degrades
+    the platform.  Reported per (rate, method): F1, questions, total spend
+    including the re-post surcharge, simulated wall clock, re-posts and
+    expired HITs.  At rate 0 the engine is provably inert, so that column
+    doubles as a regression check against the synchronous numbers; as the
+    rate grows, the cost gap between few-question methods (Power) and
+    question-hungry baselines *widens*, because every extra question is
+    another lottery ticket on the fault distribution.
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    from ..engine import CrowdEngine, EngineConfig, FaultProfile
+
+    workload = prepare(dataset)
+    if fast_mode():
+        rates = tuple(rates)[:2]
+        methods = tuple(methods)[:2]
+    rows = []
+    telemetry_out: dict[str, dict] = {}
+    for rate in rates:
+        profile = FaultProfile.scaled(rate) if rate > 0 else FaultProfile()
+        # One shared platform per fault level (the paper's §7.1 protocol:
+        # algorithms asking the same pair observe the same answer).
+        crowd = make_crowd(workload, band, seed, mode="simulation")
+        for method in methods:
+            engine = CrowdEngine(
+                EngineConfig(faults=profile, seed=seed, event_log_limit=25)
+            )
+            row = run_method(method, workload, crowd, seed=seed, engine=engine)
+            telemetry = engine.telemetry
+            rows.append([
+                dataset, rate, method, row.f_measure, row.questions,
+                round(telemetry.total_spent_cents),
+                round(telemetry.wall_clock_seconds / 60, 1),
+                telemetry.re_posts, telemetry.expired,
+            ])
+            report = telemetry.as_dict()
+            report.pop("recent_events", None)
+            telemetry_out[f"{method}@rate={rate:g}"] = report
+    if telemetry_dir is not None:
+        out_path = _Path(telemetry_dir) / "ENGINE_fault_sweep.json"
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            _json.dumps(
+                {"dataset": dataset, "band": band, "seed": seed,
+                 "runs": telemetry_out},
+                indent=2,
+            ) + "\n",
+            encoding="utf-8",
+        )
+    emit(f"Extension: fault-injection panel (band {band}, engine runtime)",
+         ["dataset", "fault rate", "method", "F1", "#questions",
+          "spent (cents)", "wall clock (min)", "#re-posts", "#expired"],
+         rows, save_to)
+    return rows
+
+
 def assignment_compare(
     dataset: str = "restaurant",
     band=(0.55, 0.98),

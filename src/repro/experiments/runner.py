@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.runtime import CrowdEngine
 
 from ..baselines import ACDResolver, GCERResolver, TransResolver
 from ..core import PowerConfig, PowerResolver, pairwise_quality
@@ -150,6 +154,7 @@ class MethodRow:
     iterations: int
     cost_cents: int
     assignment_time: float
+    extras: dict = field(default_factory=dict)
 
 
 def _score(workload: Workload, result: SelectionResult) -> MethodRow:
@@ -166,6 +171,7 @@ def _score(workload: Workload, result: SelectionResult) -> MethodRow:
         iterations=result.iterations,
         cost_cents=result.cost_cents,
         assignment_time=result.assignment_time,
+        extras=dict(result.extras),
     )
 
 
@@ -178,9 +184,28 @@ def run_method(
     selector: str = "power",
     gcer_budget: int | None = None,
     similarity: str | None = None,
+    engine: "CrowdEngine | None" = None,
 ) -> MethodRow:
-    """Run one of the five §7.2 algorithms and score it."""
-    session = crowd.session()
+    """Run one of the §7.2 algorithms (plus ``crowder``) and score it.
+
+    Args:
+        engine: a :class:`repro.engine.CrowdEngine`; when given, the
+            algorithm's crowd rounds run through the event-driven platform
+            (faults, retries, budgets, simulated wall clock) and the row's
+            extras carry the engine telemetry.  Every method — Power and
+            the baselines alike — goes through the same adapter, so fault
+            sweeps compare algorithms on an equal-footing platform.
+    """
+    if engine is not None:
+        session = engine.session(
+            crowd,
+            machine_scores={
+                pair: float(score)
+                for pair, score in zip(workload.pairs, workload.scores)
+            },
+        )
+    else:
+        session = crowd.session()
     if method in ("power", "power+"):
         config = PowerConfig(
             similarity=similarity or workload.similarity,
@@ -202,8 +227,19 @@ def run_method(
         result = GCERResolver(budget=gcer_budget).run(
             workload.pairs, workload.scores, session
         )
+    elif method == "crowder":
+        from ..baselines import CrowdERResolver
+
+        result = CrowdERResolver().run(workload.pairs, workload.scores, session)
     else:
-        raise ConfigurationError(f"unknown method {method!r}; known: {METHODS}")
+        raise ConfigurationError(
+            f"unknown method {method!r}; known: {METHODS + ('crowder',)}"
+        )
+    if engine is not None:
+        engine.finalize(session)
+        result.extras["telemetry"] = engine.telemetry.as_dict()
+        result.extras["wall_clock_seconds"] = engine.wall_clock_seconds
+        result.extras["batch_sizes"] = list(session.batch_sizes)
     row = _score(workload, result)
     row.seed = seed
     return row

@@ -60,6 +60,80 @@ class TestEstimates:
             LatencyModel(assignments=0)
 
 
+class TestEdgeCases:
+    def test_zero_question_batches_inside_sequence_are_free(self):
+        model = LatencyModel()
+        assert model.estimate_seconds([0, 0, 0]) == 0.0
+        assert model.estimate_seconds([5, 0, 5]) == model.estimate_seconds([5, 5])
+
+    def test_empty_sequence(self):
+        assert LatencyModel().estimate_seconds([]) == 0.0
+
+    def test_single_worker_serialises_every_assignment(self):
+        model = LatencyModel(concurrent_workers=1, seconds_per_answer=10,
+                             round_overhead_seconds=0, assignments=3)
+        # 4 questions x 3 assignments, one at a time.
+        assert model.batch_seconds(4) == 12 * 10
+
+    def test_workers_one_estimates_agree(self):
+        model = LatencyModel(concurrent_workers=1, seconds_per_answer=7,
+                             round_overhead_seconds=13, assignments=2)
+        exact = model.estimate_seconds([4, 4])
+        uniform = model.estimate_uniform(questions=8, iterations=2)
+        assert exact == pytest.approx(uniform)
+
+    def test_uniform_upper_bounds_unequal_batches(self):
+        """With a fractional mean batch size, ceil() makes the uniform
+        estimate conservative relative to per-round knowledge only through
+        rounding — both must stay within one wave per round."""
+        model = LatencyModel(concurrent_workers=25, seconds_per_answer=30,
+                             round_overhead_seconds=120, assignments=5)
+        exact = model.estimate_seconds([1, 9])
+        uniform = model.estimate_uniform(questions=10, iterations=2)
+        assert abs(exact - uniform) <= 2 * model.seconds_per_answer
+
+
+class TestEngineClockConvergence:
+    def test_engine_clock_equals_closed_form_without_faults(self):
+        """Under a zero-fault profile the event-driven clock must land
+        exactly on LatencyModel.estimate_seconds for the same batch shape."""
+        from repro.engine import CrowdEngine, EngineConfig
+
+        truth = {(i, i + 1): True for i in range(0, 40, 2)}
+        pairs = list(truth)
+        model = LatencyModel(concurrent_workers=7, seconds_per_answer=11.0,
+                             round_overhead_seconds=53.0, assignments=5)
+        engine = CrowdEngine(EngineConfig(latency=model, faults="none", seed=3))
+        crowd = PerfectCrowd(truth)
+        session = engine.session(crowd)
+        session.ask_batch(pairs[:3])
+        session.ask_batch(pairs[3:15])
+        session.ask_batch(pairs[15:16])
+        engine.finalize(session)
+        assert session.batch_sizes == [3, 12, 1]
+        assert engine.wall_clock_seconds == pytest.approx(
+            model.estimate_seconds(session.batch_sizes)
+        )
+
+    def test_engine_clock_with_reasks_still_matches(self):
+        """Re-asked pairs are free in money but still occupy workers, and
+        the closed form counts batch entries the same way."""
+        from repro.engine import CrowdEngine, EngineConfig
+
+        truth = {(0, 1): True, (2, 3): False}
+        model = LatencyModel(concurrent_workers=3, seconds_per_answer=5.0,
+                             round_overhead_seconds=17.0, assignments=3)
+        engine = CrowdEngine(EngineConfig(latency=model, faults="none"))
+        session = engine.session(PerfectCrowd(truth, assignments=3))
+        session.ask_batch([(0, 1), (2, 3)])
+        session.ask_batch([(0, 1)])  # re-ask: cached answer, real latency
+        engine.finalize(session)
+        assert session.questions_asked == 2
+        assert engine.wall_clock_seconds == pytest.approx(
+            model.estimate_seconds([2, 1])
+        )
+
+
 class TestSessionIntegration:
     def test_sessions_record_batch_sizes(self):
         truth = {(0, 1): True, (2, 3): False, (4, 5): True}

@@ -119,6 +119,87 @@ class TestCrowdSession:
         assert a == b
 
 
+class TestCostAccountingSemantics:
+    """Pin the billing contract documented on :class:`CrowdSession`.
+
+    The engine's budget guardrails (:mod:`repro.engine.budget`) invert this
+    formula, so these are regression tests: if billing semantics drift, the
+    guardrails silently over- or under-spend.
+    """
+
+    def _truth(self, n):
+        return {(i, i + 1): True for i in range(0, 2 * n, 2)}
+
+    def test_many_thin_rounds_cost_same_as_one_fat_batch(self):
+        """Billing is whole-run pooled: 25 one-question rounds == one
+        25-question batch in money.  Only latency tells them apart."""
+        truth = self._truth(25)
+        crowd = PerfectCrowd(truth)
+        thin = crowd.session(pairs_per_hit=10, cents_per_hit=10)
+        for pair in truth:
+            thin.ask(pair)
+        fat = crowd.session(pairs_per_hit=10, cents_per_hit=10)
+        fat.ask_batch(list(truth))
+        assert thin.questions_asked == fat.questions_asked == 25
+        assert thin.hits == fat.hits == 3 * 5  # ceil(25/10) HITs x z
+        assert thin.cost_cents == fat.cost_cents == 150
+        # Latency is what distinguishes the two shapes.
+        assert thin.iterations == 25 and fat.iterations == 1
+        assert thin.batch_sizes == [1] * 25 and fat.batch_sizes == [25]
+
+    def test_partial_hit_billed_in_full_once(self):
+        """Ceiling rounding happens once, at the end — not per batch."""
+        truth = self._truth(12)
+        pairs = list(truth)
+        session = PerfectCrowd(truth).session(pairs_per_hit=10, cents_per_hit=10)
+        session.ask_batch(pairs[:7])
+        assert session.hits == 1 * 5  # partial HIT billed in full...
+        session.ask_batch(pairs[7:11])
+        assert session.hits == 2 * 5  # ...but not billed again per batch
+        session.ask_batch(pairs[11:])
+        assert session.hits == 2 * 5  # 12 questions still fit 2 HITs
+
+    def test_reasking_never_adds_hits(self):
+        truth = self._truth(11)
+        pairs = list(truth)
+        session = PerfectCrowd(truth).session(pairs_per_hit=10, cents_per_hit=10)
+        session.ask_batch(pairs)
+        before = session.cost_cents
+        for _ in range(3):
+            session.ask_batch(pairs)  # all cached on the platform
+        assert session.questions_asked == 11
+        assert session.cost_cents == before == 2 * 5 * 10
+
+    def test_assignments_multiply_hits(self):
+        truth = self._truth(10)
+        crowd = PerfectCrowd(truth, assignments=3)
+        session = crowd.session(pairs_per_hit=10, cents_per_hit=10)
+        session.ask_batch(list(truth))
+        assert session.hits == 1 * 3
+        assert session.cost_cents == 30
+
+    def test_budget_guard_inverts_billing_exactly(self):
+        """BudgetGuard.affordable_questions must agree with what the
+        session would actually bill."""
+        from repro.engine import BudgetGuard
+
+        truth = self._truth(40)
+        pairs = list(truth)
+        guard = BudgetGuard(max_cents=150)  # 3 HITs x 5 workers x 10c
+        allowed = guard.affordable_questions(
+            asked=0, requested=len(pairs), pairs_per_hit=10,
+            cents_per_hit=10, assignments=5,
+        )
+        assert allowed == 30
+        session = PerfectCrowd(truth).session(pairs_per_hit=10, cents_per_hit=10)
+        session.ask_batch(pairs[:allowed])
+        assert session.cost_cents == 150  # exactly the cap, never over
+        # One more question would blow the budget.
+        over = PerfectCrowd(truth).session(pairs_per_hit=10, cents_per_hit=10)
+        over.ask_batch(pairs[: allowed + 1])
+        assert over.cost_cents > 150
+
+
 class TestAmbiguityDifficulty:
     def test_extremes_are_easy(self):
         vectors = np.array([[1.0, 1.0], [0.0, 0.0], [0.5, 0.5]])

@@ -1,0 +1,376 @@
+"""Unit tests for the engine's building blocks.
+
+Covers the event loop (determinism, monotone clock), the HIT lifecycle
+state machine (legal/illegal transitions, re-posting), the retry policy
+(backoff schedule, attempt budget), the fault profiles (validation,
+order-independent fates, spam hijack), and the budget guard (billing
+inversion, repost surcharge).
+"""
+
+import pytest
+
+from repro.crowd.aggregate import VoteOutcome
+from repro.engine import (
+    FAULT_PROFILES,
+    AssignmentFate,
+    BudgetGuard,
+    EventLoop,
+    FaultProfile,
+    HIT,
+    HITStatus,
+    RETRYABLE_STATES,
+    RetryPolicy,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    Telemetry,
+    resolve_profile,
+)
+from repro.exceptions import ConfigurationError, EngineError
+
+
+class TestEventLoop:
+    def test_clock_starts_at_zero_and_advances_to_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10.0, fired.append, "a")
+        loop.schedule(5.0, fired.append, "b")
+        assert loop.now == 0.0
+        loop.run_until_idle()
+        assert fired == ["b", "a"]
+        assert loop.now == 10.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for label in "abcde":
+            loop.schedule(7.0, fired.append, label)
+        loop.run_until_idle()
+        assert fired == list("abcde")
+
+    def test_cancelled_events_do_not_fire_or_count(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "x")
+        loop.schedule(2.0, fired.append, "y")
+        event.cancel()
+        assert len(loop) == 1
+        loop.run_until_idle()
+        assert fired == ["y"]
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start=100.0)
+        with pytest.raises(EngineError):
+            loop.schedule(-1.0, lambda: None)
+        with pytest.raises(EngineError):
+            loop.schedule_at(99.0, lambda: None)
+
+    def test_events_may_schedule_further_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(1.0, chain, n + 1)
+
+        loop.schedule(0.0, chain, 0)
+        loop.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+    def test_run_until_predicate(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(float(i), fired.append, i)
+        loop.run_until(lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+        assert len(loop) == 2
+
+    def test_run_until_raises_when_drained(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        with pytest.raises(EngineError):
+            loop.run_until(lambda: False)
+
+    def test_advance_refuses_to_jump_pending_events(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        with pytest.raises(EngineError):
+            loop.advance(10.0)
+        loop.run_until_idle()
+        assert loop.advance(10.0) == 15.0
+
+    def test_clock_never_runs_backwards(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(3.0, lambda: times.append(loop.now))
+        loop.schedule(3.0, lambda: times.append(loop.now))
+        loop.schedule(8.0, lambda: times.append(loop.now))
+        loop.run_until_idle()
+        assert times == sorted(times)
+
+
+class TestHITStateMachine:
+    def test_happy_path(self):
+        hit = HIT(pair=(0, 1), unit=0, posted_at=0.0)
+        assert hit.status is HITStatus.POSTED and not hit.terminal
+        hit.assign(10.0, worker_slot=3)
+        assert hit.status is HITStatus.ASSIGNED
+        assert hit.assigned_at == 10.0 and hit.worker_slot == 3
+        hit.answer(40.0)
+        assert hit.status is HITStatus.ANSWERED
+        assert hit.terminal and not hit.retryable
+        assert hit.finished_at == 40.0
+
+    def test_expire_from_posted(self):
+        hit = HIT(pair=(0, 1), unit=0)
+        hit.expire(600.0)
+        assert hit.status is HITStatus.EXPIRED
+        assert hit.terminal and hit.retryable
+
+    def test_abandon_from_assigned(self):
+        hit = HIT(pair=(0, 1), unit=0)
+        hit.assign(1.0, worker_slot=0)
+        hit.abandon(5.0)
+        assert hit.status is HITStatus.ABANDONED
+        assert hit.retryable
+
+    @pytest.mark.parametrize(
+        "setup, action",
+        [
+            (lambda h: None, "answer"),  # POSTED -> ANSWERED illegal
+            (lambda h: None, "abandon"),  # POSTED -> ABANDONED illegal
+            (lambda h: h.assign(0.0, 0), "expire"),  # ASSIGNED -> EXPIRED illegal
+            (lambda h: (h.assign(0.0, 0), h.answer(1.0)), "abandon"),
+            (lambda h: h.expire(1.0), "assign"),
+        ],
+    )
+    def test_illegal_transitions_raise(self, setup, action):
+        hit = HIT(pair=(0, 1), unit=0)
+        setup(hit)
+        with pytest.raises(EngineError):
+            if action == "assign":
+                hit.assign(2.0, 0)
+            else:
+                getattr(hit, action)(2.0)
+
+    def test_transition_table_consistency(self):
+        assert TERMINAL_STATES == {
+            state for state, targets in TRANSITIONS.items() if not targets
+        }
+        assert RETRYABLE_STATES < TERMINAL_STATES
+        assert HITStatus.ANSWERED not in RETRYABLE_STATES
+
+    def test_repost_increments_attempt(self):
+        hit = HIT(pair=(2, 5), unit=3, attempt=1)
+        hit.expire(600.0)
+        fresh = hit.repost(660.0)
+        assert fresh.pair == (2, 5) and fresh.unit == 3
+        assert fresh.attempt == 2
+        assert fresh.status is HITStatus.POSTED
+        assert fresh.posted_at == 660.0
+
+    def test_repost_of_answered_hit_rejected(self):
+        hit = HIT(pair=(0, 1), unit=0)
+        hit.assign(0.0, 0)
+        hit.answer(1.0)
+        with pytest.raises(EngineError):
+            hit.repost(2.0)
+
+
+class TestRetryPolicy:
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.can_retry(1) and policy.can_retry(2)
+        assert not policy.can_retry(3)
+
+    def test_max_attempts_one_disables_retry(self):
+        assert not RetryPolicy(max_attempts=1).can_retry(1)
+
+    def test_backoff_grows_geometrically_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=60.0, backoff_factor=2.0, backoff_max_seconds=200.0
+        )
+        assert policy.backoff_seconds(1) == 60.0
+        assert policy.backoff_seconds(2) == 120.0
+        assert policy.backoff_seconds(3) == 200.0  # capped, not 240
+        assert policy.backoff_seconds(10) == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(assign_timeout_seconds=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_seconds=100.0, backoff_max_seconds=50.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=2).backoff_seconds(0)
+
+
+class TestFaultProfiles:
+    def test_registry_profiles_valid(self):
+        assert FAULT_PROFILES["none"].fault_free
+        assert not FAULT_PROFILES["flaky"].fault_free
+        assert FAULT_PROFILES["hostile"].no_show_rate > FAULT_PROFILES["flaky"].no_show_rate
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultProfile(no_show_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultProfile(abandon_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultProfile(straggler_multiplier=0.5)
+
+    def test_fault_free_fate_is_clean(self):
+        fate = FaultProfile().fate(seed=0, pair=(0, 1), unit=0, attempt=1)
+        assert fate == AssignmentFate()
+        assert not fate.no_show and not fate.abandon and fate.service_scale == 1.0
+
+    def test_fates_are_deterministic_and_order_independent(self):
+        profile = FAULT_PROFILES["hostile"]
+        keys = [((a, b), u, t) for a in range(3) for b in range(3, 5)
+                for u in range(3) for t in (1, 2)]
+        forward = [profile.fate(7, pair, unit, attempt) for pair, unit, attempt in keys]
+        backward = [
+            profile.fate(7, pair, unit, attempt)
+            for pair, unit, attempt in reversed(keys)
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_fates_vary_with_seed_and_attempt(self):
+        profile = FAULT_PROFILES["hostile"]
+        fates_a = [profile.fate(1, (0, 1), u, 1) for u in range(50)]
+        fates_b = [profile.fate(2, (0, 1), u, 1) for u in range(50)]
+        assert fates_a != fates_b
+        # A retry is a fresh draw: the same unit can succeed on attempt 2.
+        attempts = {profile.fate(1, (0, 1), 0, t).no_show for t in range(1, 20)}
+        assert attempts == {True, False}
+
+    def test_scaled_profile_rates(self):
+        profile = FaultProfile.scaled(0.3)
+        assert profile.no_show_rate == pytest.approx(0.3)
+        assert profile.abandon_rate == pytest.approx(0.15)
+        assert profile.spammer_burst_rate == pytest.approx(0.1)
+        assert FaultProfile.scaled(0.0).fault_free
+
+    def test_empirical_no_show_rate(self):
+        profile = FaultProfile(no_show_rate=0.25)
+        n = 2000
+        hits = sum(
+            profile.fate(0, (i, i + 1), 0, 1).no_show for i in range(0, 2 * n, 2)
+        )
+        assert hits / n == pytest.approx(0.25, abs=0.03)
+
+    def test_straggler_scale_mean(self):
+        profile = FaultProfile(straggler_rate=1.0, straggler_multiplier=4.0)
+        n = 4000
+        scales = [
+            profile.fate(0, (i, i + 1), 0, 1).service_scale
+            for i in range(0, 2 * n, 2)
+        ]
+        assert all(s >= 1.0 for s in scales)
+        assert sum(scales) / n == pytest.approx(4.0, rel=0.1)
+
+    def test_spam_outcome_identity_when_not_hijacked(self):
+        outcome = VoteOutcome(answer=True, confidence=0.9, votes=(True,) * 5)
+        clean = FaultProfile()  # rate 0: identity, same object
+        assert clean.spam_outcome(0, (0, 1), outcome) is outcome
+
+    def test_spam_hijack_is_idempotent_and_low_confidence(self):
+        profile = FaultProfile(spammer_burst_rate=1.0)
+        outcome = VoteOutcome(answer=True, confidence=1.0, votes=(True,) * 5)
+        first = profile.spam_outcome(3, (0, 1), outcome)
+        second = profile.spam_outcome(3, (0, 1), outcome)
+        assert first is not outcome
+        assert first == second  # replaying on resume gives the same hijack
+        assert 0.5 <= first.confidence <= 0.7
+        assert len(first.votes) == 5
+
+    def test_resolve_profile_forms(self):
+        assert resolve_profile("flaky") is FAULT_PROFILES["flaky"]
+        assert resolve_profile(FAULT_PROFILES["hostile"]).name == "hostile"
+        scaled = resolve_profile("scaled:0.2")
+        assert scaled.no_show_rate == pytest.approx(0.2)
+        with pytest.raises(ConfigurationError):
+            resolve_profile("bogus")
+        with pytest.raises(ConfigurationError):
+            resolve_profile("scaled:abc")
+
+
+class TestBudgetGuard:
+    def test_unlimited_guard_allows_everything(self):
+        guard = BudgetGuard()
+        assert guard.unlimited
+        assert guard.affordable_questions(0, 10_000, 10, 10, 5) == 10_000
+        assert guard.can_afford_repost(1.0, 1e9)
+
+    def test_question_cap(self):
+        guard = BudgetGuard(max_questions=30)
+        assert guard.affordable_questions(25, 10, 10, 10, 5) == 5
+        assert guard.affordable_questions(30, 10, 10, 10, 5) == 0
+        assert guard.affordable_questions(40, 10, 10, 10, 5) == 0
+
+    def test_cents_cap_inverts_billing(self):
+        # 10 pairs/HIT, 10c/HIT, z=5 -> 50c per 10 questions.
+        guard = BudgetGuard(max_cents=100)
+        assert guard.affordable_questions(0, 100, 10, 10, 5) == 20
+        assert guard.affordable_questions(15, 100, 10, 10, 5) == 5
+        assert guard.affordable_questions(20, 100, 10, 10, 5) == 0
+
+    def test_repost_surcharge_shrinks_question_budget(self):
+        guard = BudgetGuard(max_cents=100)
+        guard.charge_repost(50.0)
+        # Only one HIT-bundle (50c) of headroom remains.
+        assert guard.affordable_questions(0, 100, 10, 10, 5) == 10
+
+    def test_can_afford_repost_counts_everything(self):
+        guard = BudgetGuard(max_cents=100)
+        assert guard.can_afford_repost(1.0, billed_cents=99)
+        assert not guard.can_afford_repost(2.0, billed_cents=99)
+        guard.charge_repost(1.0)
+        assert not guard.can_afford_repost(1.0, billed_cents=99)
+
+    def test_zero_budget_means_machine_only(self):
+        guard = BudgetGuard(max_cents=0)
+        assert guard.affordable_questions(0, 50, 10, 10, 5) == 0
+        assert not guard.can_afford_repost(0.5, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetGuard(max_cents=-1)
+        with pytest.raises(ConfigurationError):
+            BudgetGuard(max_questions=-1)
+        with pytest.raises(ConfigurationError):
+            BudgetGuard().charge_repost(-0.5)
+
+
+class TestTelemetry:
+    def test_event_window_is_bounded(self):
+        telemetry = Telemetry(event_log_limit=3)
+        for i in range(10):
+            telemetry.record_event("expired", float(i), pair=[0, 1])
+        events = telemetry.events
+        assert len(events) == 3
+        assert [e["clock"] for e in events] == [7.0, 8.0, 9.0]
+
+    def test_as_dict_and_write(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.posted = 12
+        telemetry.re_posts = 2
+        telemetry.wall_clock_seconds = 42.5
+        telemetry.billed_cents = 50
+        telemetry.repost_cents = 1.5
+        payload = telemetry.as_dict()
+        assert payload["counters"]["posted"] == 12
+        assert payload["wall_clock_seconds"] == 42.5
+        assert telemetry.total_spent_cents == pytest.approx(51.5)
+        out = tmp_path / "telemetry.json"
+        telemetry.write(out)
+        import json
+
+        assert json.loads(out.read_text())["counters"]["re_posts"] == 2
+        assert "summary" not in payload  # summary() is the human view
+        assert "re-posts=2" in telemetry.summary()

@@ -1,0 +1,294 @@
+"""Property tests for the append-only answer journal (WAL).
+
+Two contracts matter for crash resume:
+
+* **Round trip** — any sequence of records appended through
+  :class:`Journal` reads back verbatim, and :func:`replay_state` is a pure
+  left fold of it (a prefix of records yields the state the run had at
+  that point).
+* **Torn tail** — a crash can cut the last line mid-write; replay must
+  recover every intact record, report the truncation, and (with
+  ``repair=True``) truncate the file so subsequent appends stay valid.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.aggregate import VoteOutcome
+from repro.engine import (
+    JOURNAL_VERSION,
+    Journal,
+    load_journal,
+    read_records,
+    replay_state,
+)
+from repro.engine.journal import decode_outcome, encode_outcome
+from repro.exceptions import JournalError
+
+# ---------------------------------------------------------------------- #
+# Strategies: random-but-valid journal record streams
+# ---------------------------------------------------------------------- #
+
+pairs = st.tuples(st.integers(0, 50), st.integers(51, 99))
+clocks = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def outcome_records():
+    return st.builds(
+        lambda pair, answer, confidence, z, clock: {
+            "type": "answer",
+            "pair": list(pair),
+            "answer": answer,
+            "confidence": confidence,
+            "votes": [answer] * z,
+            "clock": clock,
+        },
+        pairs,
+        st.booleans(),
+        st.floats(min_value=0.5, max_value=1.0, allow_nan=False),
+        st.integers(1, 7),
+        clocks,
+    )
+
+
+def lifecycle_records():
+    return st.builds(
+        lambda kind, pair, unit, attempt, clock: {
+            "type": kind,
+            "pair": list(pair),
+            "unit": unit,
+            "attempt": attempt,
+            "clock": clock,
+        },
+        st.sampled_from(["posted", "assigned", "answered_unit", "expired", "abandoned"]),
+        pairs,
+        st.integers(0, 9),
+        st.integers(1, 6),
+        clocks,
+    )
+
+
+def machine_records():
+    return st.builds(
+        lambda pair, answer, clock: {
+            "type": "machine",
+            "pair": list(pair),
+            "answer": answer,
+            "clock": clock,
+        },
+        pairs,
+        st.booleans(),
+        clocks,
+    )
+
+
+def round_records():
+    return st.builds(
+        lambda n, size, clock: {"type": "round", "round": n, "size": size, "clock": clock},
+        st.integers(1, 100),
+        st.integers(1, 500),
+        clocks,
+    )
+
+
+record_streams = st.lists(
+    st.one_of(outcome_records(), lifecycle_records(), machine_records(), round_records()),
+    max_size=40,
+)
+
+
+def header_record():
+    return {
+        "type": "header",
+        "version": JOURNAL_VERSION,
+        "seed": 0,
+        "profile": "flaky",
+        "assignments": 5,
+        "pairs_per_hit": 10,
+        "cents_per_hit": 10,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Round trip
+# ---------------------------------------------------------------------- #
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(records=record_streams)
+    def test_append_then_read_is_identity(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("journal") / "run.jsonl"
+        with Journal(path) as journal:
+            journal.append(header_record())
+            for record in records:
+                journal.append(record)
+        read, truncated = read_records(path)
+        assert not truncated
+        assert read[0]["type"] == "header"
+        assert read[1:] == json.loads(json.dumps(records))  # float-safe compare
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=record_streams)
+    def test_replay_is_a_pure_left_fold(self, records):
+        full = [header_record()] + records
+        state = replay_state(full)
+        # Prefix property: replaying a prefix gives the state at that point,
+        # and extending the prefix only ever refines it.
+        for cut in range(len(full) + 1):
+            prefix_state = replay_state(full[:cut])
+            assert prefix_state.rounds <= state.rounds
+            assert prefix_state.last_clock <= state.last_clock
+            assert set(prefix_state.answers) <= set(state.answers)
+        # Determinism: same records, same state.
+        again = replay_state(full)
+        assert again.answers == state.answers
+        assert again.machine_answers == state.machine_answers
+        assert (again.rounds, again.reposts, again.expired, again.abandoned) == (
+            state.rounds, state.reposts, state.expired, state.abandoned
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        answer=st.booleans(),
+        confidence=st.floats(min_value=0.5, max_value=1.0, allow_nan=False),
+        z=st.integers(1, 9),
+    )
+    def test_outcome_codec_round_trip(self, answer, confidence, z):
+        outcome = VoteOutcome(answer=answer, confidence=confidence, votes=(answer,) * z)
+        decoded = decode_outcome(json.loads(json.dumps(encode_outcome(outcome))))
+        assert decoded == outcome
+
+    def test_counters_fold_correctly(self):
+        records = [
+            header_record(),
+            {"type": "round", "round": 1, "size": 3, "clock": 0.0},
+            {"type": "posted", "pair": [0, 1], "unit": 0, "attempt": 1, "clock": 0.0},
+            {"type": "posted", "pair": [0, 1], "unit": 0, "attempt": 2, "clock": 60.0},
+            {"type": "expired", "pair": [0, 1], "unit": 0, "attempt": 1, "clock": 600.0},
+            {"type": "abandoned", "pair": [2, 3], "unit": 1, "attempt": 1, "clock": 30.0},
+            {"type": "answer", "pair": [1, 0], "answer": True, "confidence": 0.9,
+             "votes": [True, True, False], "clock": 700.0},
+            {"type": "machine", "pair": [4, 5], "answer": False, "clock": 700.0},
+            {"type": "final", "questions": 1, "cost_cents": 50,
+             "repost_cents": 1.0, "clock": 700.0},
+        ]
+        state = replay_state(records)
+        assert state.rounds == 1
+        assert state.reposts == 1  # only the attempt-2 posted record
+        assert state.expired == 1 and state.abandoned == 1
+        assert state.last_clock == 700.0
+        assert state.complete
+        # Pairs canonicalise: [1, 0] folds to (0, 1).
+        assert state.answers[(0, 1)].answer is True
+        assert state.machine_answers[(4, 5)] is False
+
+    def test_wrong_version_rejected(self):
+        bad = dict(header_record(), version=JOURNAL_VERSION + 1)
+        with pytest.raises(JournalError):
+            replay_state([bad])
+
+    def test_record_without_type_rejected_on_append(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        with pytest.raises(JournalError):
+            journal.append({"pair": [0, 1]})
+
+
+# ---------------------------------------------------------------------- #
+# Torn tails (mid-write crash)
+# ---------------------------------------------------------------------- #
+
+
+class TestTornTail:
+    def _write_journal(self, path, records):
+        with Journal(path) as journal:
+            for record in records:
+                journal.append(record)
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=record_streams, data=st.data())
+    def test_any_byte_truncation_recovers_a_prefix(self, tmp_path_factory, records, data):
+        path = tmp_path_factory.mktemp("journal") / "run.jsonl"
+        self._write_journal(path, [header_record()] + records)
+        raw = path.read_bytes()
+        cut = data.draw(st.integers(0, len(raw)), label="cut")
+        path.write_bytes(raw[:cut])
+        recovered, truncated = read_records(path)
+        # Whatever the cut point, we recover an exact record prefix...
+        full = [header_record()] + json.loads(json.dumps(records))
+        assert recovered == full[: len(recovered)]
+        # ...losing at most the single record the cut landed inside.
+        assert len(recovered) == raw[:cut].count(b"\n")
+        # "Torn" means a dangling partial line; a cut landing exactly on a
+        # record boundary (or an empty file) reads back clean.
+        assert truncated == bool(raw[:cut] and not raw[:cut].endswith(b"\n"))
+
+    def test_mid_line_cut_reports_truncation_and_repairs(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = [header_record()] + [
+            {"type": "round", "round": i, "size": 5, "clock": float(i)}
+            for i in range(1, 6)
+        ]
+        self._write_journal(path, records)
+        raw = path.read_bytes()
+        # Cut inside the last line.
+        path.write_bytes(raw[: len(raw) - 4])
+        recovered, truncated = read_records(path, repair=False)
+        assert truncated
+        assert len(recovered) == len(records) - 1
+        # File still torn: a naive append would corrupt it.
+        assert not path.read_bytes().endswith(b"\n")
+        # Repair truncates back to the last intact record...
+        recovered2, truncated2 = read_records(path, repair=True)
+        assert truncated2 and recovered2 == recovered
+        assert path.read_bytes().endswith(b"\n")
+        # ...so appending afterwards yields a fully valid journal again.
+        with Journal(path) as journal:
+            journal.append({"type": "final", "questions": 1, "clock": 9.0})
+        final, still_truncated = read_records(path)
+        assert not still_truncated
+        assert final[-1]["type"] == "final"
+
+    def test_garbage_line_stops_replay(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_journal(path, [header_record()])
+        with path.open("ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'{"type":"round","round":1,"size":2,"clock":1.0}\n')
+        recovered, truncated = read_records(path)
+        assert truncated
+        assert len(recovered) == 1  # everything after the bad line is lost
+
+    def test_non_dict_json_line_is_torn(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_journal(path, [header_record()])
+        with path.open("ab") as handle:
+            handle.write(b"[1,2,3]\n")
+        _, truncated = read_records(path)
+        assert truncated
+
+    def test_missing_file_is_empty_not_error(self, tmp_path):
+        records, truncated = read_records(tmp_path / "absent.jsonl")
+        assert records == [] and not truncated
+        state = load_journal(tmp_path / "absent.jsonl")
+        assert not state.complete and state.answers == {}
+
+    def test_load_journal_resumes_answers(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_journal(
+            path,
+            [
+                header_record(),
+                {"type": "answer", "pair": [3, 9], "answer": True,
+                 "confidence": 0.8, "votes": [True, True, True, False, True],
+                 "clock": 10.0},
+            ],
+        )
+        state = load_journal(path)
+        assert state.answers[(3, 9)] == VoteOutcome(
+            answer=True, confidence=0.8, votes=(True, True, True, False, True)
+        )
+        assert not state.complete
