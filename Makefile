@@ -1,12 +1,17 @@
 # Convenience targets for the power-er reproduction.
 #
-#   make check        - the default gate: tests + engine smoke + lint
+#   make check        - the default gate: tests + engine smoke + verify + lint
 #   make test         - tier-1 test suite
 #   make engine-smoke - <60s deterministic fault-injection run asserting
 #                       crash-resume converges to the straight-through run
+#   make verify       - repro.verify battery: differential oracles, structural
+#                       invariants, metamorphic laws, mutation self-test
 #   make lint         - ruff over src/tests/benchmarks (skipped with a
 #                       notice when ruff is not installed; config lives in
 #                       pyproject.toml so editors pick it up regardless)
+#   make coverage     - tier-1 suite under pytest-cov; enforces the line
+#                       floor and refreshes benchmarks/results/COVERAGE.json
+#                       (skipped with a notice when pytest-cov is missing)
 #   make bench-smoke  - <60s perf smoke: fast paths must beat the scalar
 #                       references (POWER_BENCH_FAST=1 shrinks the workload)
 #   make bench-perf   - full pipeline benchmark; enforces the 5x vectorize /
@@ -16,9 +21,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test engine-smoke lint bench-smoke bench-perf
+# Minimum acceptable line coverage (percent) for `make coverage`.
+COVERAGE_FLOOR ?= 85
 
-check: test engine-smoke lint
+.PHONY: check test engine-smoke verify lint coverage bench-smoke bench-perf
+
+check: test engine-smoke verify coverage lint
 
 test:
 	$(PYTHON) -m pytest -q
@@ -26,11 +34,26 @@ test:
 engine-smoke:
 	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/engine_smoke.py
 
+verify:
+	$(PYTHON) -m repro verify --dataset restaurant --scale 0.05 --quiet
+
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping lint (config: pyproject.toml [tool.ruff])"; \
+	fi
+
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q -m "not slow" \
+			--cov=src/repro --cov-report=term --cov-report=json:coverage.json \
+			--cov-fail-under=$(COVERAGE_FLOOR) && \
+		$(PYTHON) benchmarks/coverage_summary.py coverage.json \
+			benchmarks/results/COVERAGE.json; \
+	else \
+		echo "pytest-cov not installed; skipping coverage" \
+		     "(floor: $(COVERAGE_FLOOR)%, summary: benchmarks/results/COVERAGE.json)"; \
 	fi
 
 bench-smoke:

@@ -1,0 +1,81 @@
+"""Condense pytest-cov's ``coverage.json`` into a small committed summary.
+
+Usage::
+
+    python benchmarks/coverage_summary.py coverage.json benchmarks/results/COVERAGE.json
+
+The full ``coverage.json`` (per-line detail, hundreds of KB) stays
+untracked; the summary keeps the headline totals plus per-package line
+coverage so regressions show up in review diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def summarize(raw: dict) -> dict:
+    totals = raw.get("totals", {})
+    packages: dict[str, dict[str, int]] = defaultdict(
+        lambda: {"num_statements": 0, "covered_lines": 0, "missing_lines": 0}
+    )
+    for filename, entry in raw.get("files", {}).items():
+        parts = Path(filename).parts
+        # src/repro/graph/dag.py -> repro.graph
+        try:
+            anchor = parts.index("repro")
+        except ValueError:
+            continue
+        package = ".".join(parts[anchor:-1]) or "repro"
+        summary = entry.get("summary", {})
+        bucket = packages[package]
+        bucket["num_statements"] += int(summary.get("num_statements", 0))
+        bucket["covered_lines"] += int(summary.get("covered_lines", 0))
+        bucket["missing_lines"] += int(summary.get("missing_lines", 0))
+    package_rows = {}
+    for package in sorted(packages):
+        bucket = packages[package]
+        statements = bucket["num_statements"]
+        percent = 100.0 * bucket["covered_lines"] / statements if statements else 100.0
+        package_rows[package] = {
+            "percent_covered": round(percent, 2),
+            "num_statements": statements,
+            "missing_lines": bucket["missing_lines"],
+        }
+    return {
+        "meta": {
+            "format": 1,
+            "source": "pytest-cov (coverage.py json report)",
+            "note": "regenerate via `make coverage`",
+        },
+        "totals": {
+            "percent_covered": round(float(totals.get("percent_covered", 0.0)), 2),
+            "num_statements": int(totals.get("num_statements", 0)),
+            "covered_lines": int(totals.get("covered_lines", 0)),
+            "missing_lines": int(totals.get("missing_lines", 0)),
+        },
+        "packages": package_rows,
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source, destination = Path(argv[1]), Path(argv[2])
+    raw = json.loads(source.read_text())
+    summary = summarize(raw)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"coverage: {summary['totals']['percent_covered']:.2f}% of "
+        f"{summary['totals']['num_statements']} statements -> {destination}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

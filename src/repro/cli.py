@@ -10,6 +10,8 @@ Commands:
   orchestration runtime (fault injection, retries, budgets, journal,
   telemetry) on one of the benchmark datasets.
 * ``experiment`` — run one of the paper's figure/table harnesses by name.
+* ``verify`` — run the :mod:`repro.verify` correctness battery
+  (differential oracles, invariants, metamorphic laws, mutation self-test).
 
 The ``experiment`` sub-command's name list and help text are generated
 from :data:`EXPERIMENTS`, so registering a harness there is the *only*
@@ -161,6 +163,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--save-to", type=Path, default=None)
+
+    verify = commands.add_parser(
+        "verify",
+        help="run the differential-oracle / invariant verification battery",
+        description=(
+            "Run the repro.verify battery: brute-force differential oracles "
+            "(dominance kernels, batch similarity, joins, crowd aggregation, "
+            "production-vs-naive selector runs), structural invariants "
+            "(partial-order laws, topo layering, path covers, billing "
+            "coherence), metamorphic laws (permutation invariance, duplicate "
+            "idempotence, cost monotonicity), and a seeded-mutation "
+            "self-test proving the checks detect injected bugs."
+        ),
+    )
+    verify.add_argument("--dataset", default="restaurant",
+                        choices=["restaurant", "cora", "acmpub", "products"])
+    verify.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the dataset's records to verify on")
+    verify.add_argument("--seeds", type=int, default=10,
+                        help="random-matrix seeds for the synthetic sweeps")
+    verify.add_argument("--seed", type=int, default=0, help="base seed")
+    verify.add_argument("--skip-mutation", action="store_true",
+                        help="skip the seeded-mutant self-test")
+    verify.add_argument("--skip-metamorphic", action="store_true",
+                        help="skip the dataset metamorphic laws")
+    verify.add_argument("--quiet", action="store_true",
+                        help="print failures and the verdict only")
     return parser
 
 
@@ -313,6 +342,32 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _command_verify(args) -> int:
+    from .verify import BatteryConfig, run_battery
+
+    config = BatteryConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        seeds=args.seeds,
+        base_seed=args.seed,
+        include_mutation=not args.skip_mutation,
+        include_metamorphic=not args.skip_metamorphic,
+    )
+    report = run_battery(config)
+    if args.quiet:
+        for failure in report.failures:
+            print(failure)
+        verdict = (
+            f"{len(report.results)} checks, all passed"
+            if report.passed
+            else f"{len(report.results)} checks, {len(report.failures)} FAILED"
+        )
+        print(verdict)
+    else:
+        print(report.summary())
+    return 0 if report.passed else 1
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -322,6 +377,7 @@ def main(argv=None) -> int:
         "resolve": _command_resolve,
         "simulate": _command_simulate,
         "experiment": _command_experiment,
+        "verify": _command_verify,
     }
     try:
         return handlers[args.command](args)

@@ -44,3 +44,8 @@ class JournalError(EngineError):
 class SimulatedCrash(EngineError):
     """Raised by the engine's test-only ``crash_after`` knob to abort a run
     mid-flight, leaving a partial journal behind for crash-resume tests."""
+
+
+class VerificationError(PowerError):
+    """A correctness check of :mod:`repro.verify` failed: a production path
+    disagreed with its brute-force oracle, or an invariant was violated."""

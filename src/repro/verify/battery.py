@@ -1,0 +1,308 @@
+"""The ``repro verify`` battery: one command that runs the whole suite.
+
+Orchestrates every oracle, invariant, metamorphic property, and the
+mutation self-test into a single :class:`~repro.verify.report.VerificationReport`:
+
+1. **synthetic sweeps** — random similarity matrices across many seeds
+   drive the construction oracles, the structural invariants, and the
+   production-vs-naive selector differentials (perfect and noisy crowds,
+   grouped and ungrouped graphs);
+2. **dataset checks** — a (subsampled) benchmark dataset goes through the
+   real pipeline: batch-similarity and join oracles, graph invariants on
+   the actual dominance DAG, an end-to-end resolution under the always-on
+   :class:`~repro.verify.invariants.VerifyingSession` sanitizer, clustering
+   cross-checks, and the metamorphic laws;
+3. **mutation self-test** — seeded bugs are injected and every one must be
+   detected (:mod:`repro.verify.mutation`), proving the suite has teeth.
+
+Used by the ``repro verify`` CLI subcommand and ``make verify``; the pieces
+remain importable for targeted use in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clustering import clusters_from_matches
+from ..core.config import PowerConfig
+from ..crowd.platform import PerfectCrowd, SimulatedCrowd
+from ..crowd.worker import WorkerPool
+from ..data.table import Table
+from ..exceptions import DataError
+from ..graph.dag import PairGraph
+from ..graph.grouped_graph import GroupedGraph
+from ..graph.grouping import split_grouping
+from ..selection import SELECTORS
+from . import invariants, metamorphic, oracles
+from .mutation import run_mutation_selftest
+from .report import VerificationReport, run_check
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Knobs for one verification run.
+
+    Attributes:
+        dataset: benchmark dataset name (``repro.data.generators.DATASETS``).
+        scale: fraction of the dataset's records to keep (prefix subsample;
+            the generators emit an entity's duplicates together, so a prefix
+            keeps the duplicate structure intact).
+        seeds: how many random-matrix seeds drive the synthetic sweeps.
+        num_vertices: vertices per synthetic instance.
+        num_attributes: attribute count per synthetic instance.
+        selectors: selector names to differential-test; empty means every
+            registered selector plus the greedy reference policy.
+        epsilon: grouping threshold for the grouped differential runs.
+        include_mutation: run the seeded-mutant self-test.
+        include_metamorphic: run the metamorphic laws on the dataset.
+        base_seed: offset added to every per-seed derivation.
+    """
+
+    dataset: str = "restaurant"
+    scale: float = 1.0
+    seeds: int = 10
+    num_vertices: int = 24
+    num_attributes: int = 4
+    selectors: tuple[str, ...] = ()
+    epsilon: float = 0.15
+    include_mutation: bool = True
+    include_metamorphic: bool = True
+    base_seed: int = 0
+
+    def selector_names(self) -> tuple[str, ...]:
+        if self.selectors:
+            return self.selectors
+        return tuple(sorted(SELECTORS)) + ("greedy-reference",)
+
+
+def random_instance(
+    seed: int, num_vertices: int = 24, num_attributes: int = 4
+) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """A synthetic (pairs, vectors) instance with a rich partial order.
+
+    Similarities are quantized to one decimal so the order has duplicate
+    vectors, long chains, and wide antichains — the regimes that stress the
+    dominance kernels and the inference engine.
+    """
+    rng = np.random.default_rng(seed)
+    vectors = rng.random((num_vertices, num_attributes)).round(1)
+    pairs = [(2 * k, 2 * k + 1) for k in range(num_vertices)]
+    return pairs, vectors
+
+
+def subsample_table(table: Table, scale: float, minimum: int = 20) -> Table:
+    """The first ``round(scale * len(table))`` records (at least *minimum*).
+
+    The dataset generators emit each entity's duplicates consecutively, so
+    a prefix keeps duplicate pairs in the sample; random sampling would
+    mostly strip them out and leave a trivial graph.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise DataError(f"scale must be in (0, 1], got {scale}")
+    if scale == 1.0:
+        return table
+    keep = min(len(table), max(minimum, round(scale * len(table))))
+    rows = [table[index].values for index in range(keep)]
+    entity_ids = [table[index].entity_id for index in range(keep)]
+    return Table.from_rows(
+        name=f"{table.name}-x{scale:g}",
+        attributes=table.attributes,
+        rows=rows,
+        entity_ids=entity_ids,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Battery sections
+# --------------------------------------------------------------------------- #
+
+
+def _synthetic_sweeps(config: BatteryConfig, report: VerificationReport) -> None:
+    selectors = config.selector_names()
+    for offset in range(config.seeds):
+        seed = config.base_seed + offset
+        pairs, vectors = random_instance(
+            seed, config.num_vertices, config.num_attributes
+        )
+        run_check(
+            report,
+            f"dominance-construction[seed={seed}]",
+            lambda v=vectors: oracles.check_dominance_construction(v),
+        )
+        run_check(
+            report,
+            f"transitive-closure[seed={seed}]",
+            lambda v=vectors: oracles.check_transitive_closure(v),
+        )
+
+        def graph_invariants(pairs=pairs, vectors=vectors):
+            graph = PairGraph(pairs, vectors)
+            invariants.check_partial_order(graph)
+            invariants.check_acyclicity(graph)
+            invariants.check_topo_layers(graph)
+            invariants.check_path_cover(graph)
+            grouped = GroupedGraph(graph, split_grouping(vectors, config.epsilon))
+            invariants.check_partial_order(grouped)
+            invariants.check_grouped_partition(grouped)
+            invariants.check_topo_layers(grouped)
+
+        run_check(report, f"graph-invariants[seed={seed}]", graph_invariants)
+
+        for name in selectors:
+            run_check(
+                report,
+                f"selector-differential[{name}, seed={seed}]",
+                lambda n=name, p=pairs, v=vectors, s=seed: (
+                    oracles.check_selector_differential(n, p, v, seed=s)
+                ),
+            )
+            run_check(
+                report,
+                f"selector-monotone[{name}, seed={seed}]",
+                lambda n=name, p=pairs, v=vectors, s=seed: (
+                    oracles.check_selector_monotone_oracle(n, p, v, seed=s)
+                ),
+            )
+        # Grouped and noisy variants (production selector only, cost control).
+        run_check(
+            report,
+            f"selector-differential[power, grouped, seed={seed}]",
+            lambda p=pairs, v=vectors, s=seed: oracles.check_selector_differential(
+                "power", p, v, seed=s, epsilon=config.epsilon
+            ),
+        )
+        run_check(
+            report,
+            f"selector-differential[power, noisy, seed={seed}]",
+            lambda p=pairs, v=vectors, s=seed: oracles.check_selector_differential(
+                "power", p, v, seed=s, band="90"
+            ),
+        )
+        run_check(
+            report,
+            f"cost-monotonicity[seed={seed}]",
+            lambda p=pairs, v=vectors, s=seed: metamorphic.check_cost_monotonicity(
+                p, v, seed=s
+            ),
+        )
+
+
+def _billing_and_crowd(config: BatteryConfig, report: VerificationReport) -> None:
+    pairs, _ = random_instance(config.base_seed, config.num_vertices, 4)
+
+    def billing():
+        truth = {pair: True for pair in pairs}
+        session = PerfectCrowd(truth).session(pairs_per_hit=5)
+        session.ask_batch(pairs[:13])  # 13 at 5/HIT: ceil and floor differ
+        invariants.check_session_coherence(session)
+
+    run_check(report, "billing-pooled-ceiling", billing)
+
+    def aggregation():
+        truth = {pair: bool(index % 2) for index, pair in enumerate(pairs)}
+        for mode in ("weighted", "majority"):
+            crowd = SimulatedCrowd(
+                truth,
+                pool=WorkerPool(accuracy_range="80", seed=config.base_seed),
+                assignments=5,
+                aggregation=mode,
+            )
+            oracles.check_crowd_aggregation(crowd, pairs)
+
+    run_check(report, "crowd-aggregation", aggregation)
+
+
+def _dataset_checks(config: BatteryConfig, report: VerificationReport) -> None:
+    from ..core.resolver import PowerResolver
+    from ..data.generators import load_dataset
+
+    table = subsample_table(
+        load_dataset(config.dataset), config.scale
+    )
+    power_config = PowerConfig(seed=config.base_seed)
+    resolver = PowerResolver(power_config)
+    pairs = resolver.candidate_pairs(table)
+    if not pairs:
+        raise DataError(
+            f"no candidate pairs survive pruning on {table.name!r}; "
+            "raise --scale"
+        )
+    vectors = resolver.similarity_vectors(table, pairs)
+
+    run_check(
+        report,
+        f"batch-similarity[{table.name}]",
+        lambda: oracles.check_batch_similarity(
+            table, pairs, resolver.similarity_config(table)
+        ),
+    )
+    run_check(
+        report,
+        f"join-methods[{table.name}]",
+        lambda: oracles.check_join_methods(
+            table, power_config.pruning_threshold
+        ),
+    )
+
+    def pipeline_graph_invariants():
+        graph = PairGraph(pairs, vectors)
+        invariants.check_partial_order(graph)
+        invariants.check_acyclicity(graph)
+        invariants.check_topo_layers(graph)
+        invariants.check_path_cover(graph)
+
+    run_check(report, f"pipeline-graph[{table.name}]", pipeline_graph_invariants)
+
+    def verified_resolution():
+        crowd = resolver.simulated_crowd(table, pairs, worker_band="90")
+        session = invariants.VerifyingSession(crowd.session())
+        result = resolver.resolve(table, session=session)
+        invariants.check_session_coherence(session._inner)
+        if result.selection.state is not None:
+            invariants.check_coloring_state(result.selection.state)
+        invariants.check_cluster_union_find(len(table), result.matches)
+        produced = sorted(sorted(cluster) for cluster in result.clusters)
+        recomputed = sorted(
+            sorted(cluster)
+            for cluster in clusters_from_matches(len(table), result.matches)
+        )
+        if produced != recomputed:
+            raise DataError("resolver clusters drifted from its own matches")
+
+    run_check(report, f"verified-resolution[{table.name}]", verified_resolution)
+
+    if config.include_metamorphic:
+        run_check(
+            report,
+            f"permutation-invariance[{table.name}]",
+            lambda: metamorphic.check_permutation_invariance(
+                table, seed=config.base_seed
+            ),
+        )
+        run_check(
+            report,
+            f"duplicate-idempotence[{table.name}]",
+            lambda: metamorphic.check_duplicate_idempotence(table, record_id=0),
+        )
+
+
+def run_battery(config: BatteryConfig | None = None) -> VerificationReport:
+    """Run every section and return the combined report."""
+    config = config or BatteryConfig()
+    report = VerificationReport()
+    _synthetic_sweeps(config, report)
+    _billing_and_crowd(config, report)
+    _dataset_checks(config, report)
+    if config.include_mutation:
+        report.extend(run_mutation_selftest(seed=config.base_seed))
+    return report
+
+
+__all__ = [
+    "BatteryConfig",
+    "random_instance",
+    "subsample_table",
+    "run_battery",
+]

@@ -1,0 +1,219 @@
+"""Metamorphic properties: relations between runs that must always hold.
+
+Differential oracles need a reference implementation; metamorphic checks
+need only a *transformed input* and a law connecting the two outputs:
+
+* :func:`check_permutation_invariance` — shuffling the record order must
+  not change the candidate-pair set, the similarity vectors, the dominance
+  relation, or the resolved partition (modulo the relabeling);
+* :func:`check_duplicate_idempotence` — appending an exact copy of a record
+  must put the copy in its source's cluster and leave the partition of the
+  original records untouched;
+* :func:`check_cost_monotonicity` — growing the question budget must never
+  reduce the questions asked or the money spent, and must never overspend.
+
+End-to-end runs use a perfect crowd over *order-monotone* truth
+(:func:`~repro.verify.oracles.monotone_truth`), under which a correct
+pipeline provably recovers the truth exactly — so the laws above are
+theorems about the machinery, not statistical tendencies of the workload.
+The checks are deterministic (seeded); the test suite additionally drives
+them through hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.clustering import clusters_from_matches
+from ..core.config import PowerConfig
+from ..crowd.platform import PerfectCrowd
+from ..data.table import Table
+from ..exceptions import VerificationError
+from ..graph.dag import PairGraph
+from ..selection import SELECTORS
+from .oracles import monotone_truth, naive_dominance_edges
+
+
+def _permute_table(table: Table, permutation: np.ndarray) -> Table:
+    """A copy of *table* with records in *permutation* order."""
+    rows = [table[int(old)].values for old in permutation]
+    entity_ids = [table[int(old)].entity_id for old in permutation]
+    return Table.from_rows(
+        name=f"{table.name}-permuted",
+        attributes=table.attributes,
+        rows=rows,
+        entity_ids=entity_ids,
+    )
+
+
+def _monotone_resolution(table: Table, config: PowerConfig, cutoff: float | None):
+    """Pipeline run against a perfect crowd over order-monotone truth.
+
+    Returns ``(pairs, vectors, clusters, cutoff)``.  Grouping is disabled:
+    a grouped vertex answers one member for the whole group, so exact truth
+    recovery — the property the metamorphic laws lean on — is only
+    guaranteed per-vertex.
+    """
+    from ..core.resolver import PowerResolver
+
+    resolver = PowerResolver(config)
+    pairs = resolver.candidate_pairs(table)
+    if not pairs:
+        raise VerificationError(
+            f"no candidate pairs survive pruning on {table.name!r}; the "
+            "metamorphic checks need a non-trivial graph"
+        )
+    vectors = resolver.similarity_vectors(table, pairs)
+    if cutoff is None:
+        cutoff = float(np.median(vectors.mean(axis=1)))
+    vertex_truth = monotone_truth(vectors, cutoff)
+    truth = {pair: vertex_truth[vertex] for vertex, pair in enumerate(pairs)}
+    graph = PairGraph(pairs, vectors)
+    session = PerfectCrowd(truth).session()
+    selection = resolver.make_selector().run(graph, session)
+    clusters = clusters_from_matches(len(table), selection.matches)
+    return pairs, vectors, clusters, cutoff
+
+
+def _partition_signature(clusters, relabel=None) -> set[frozenset[int]]:
+    if relabel is None:
+        return {frozenset(cluster) for cluster in clusters}
+    return {frozenset(relabel[member] for member in cluster) for cluster in clusters}
+
+
+def check_permutation_invariance(
+    table: Table, seed: int = 0, config: PowerConfig | None = None
+) -> None:
+    """Record order must not matter.
+
+    The candidate pairs, similarity vectors, dominance relation, and the
+    resolved partition of the permuted table, all mapped back through the
+    permutation, must equal the originals exactly.
+    """
+    config = config or PowerConfig(seed=seed, epsilon=None)
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(len(table))
+    # new record id k holds old record permutation[k].
+    back = {new: int(old) for new, old in enumerate(permutation)}
+    permuted = _permute_table(table, permutation)
+
+    base_pairs, base_vectors, base_clusters, cutoff = _monotone_resolution(
+        table, config, cutoff=None
+    )
+    perm_pairs, perm_vectors, perm_clusters, _ = _monotone_resolution(
+        permuted, config, cutoff=cutoff
+    )
+
+    mapped_pairs = {
+        tuple(sorted((back[i], back[j]))) for i, j in perm_pairs
+    }
+    if mapped_pairs != set(base_pairs):
+        raise VerificationError(
+            f"permutation (seed {seed}) changed the candidate-pair set: "
+            f"{len(base_pairs)} vs {len(perm_pairs)} pairs"
+        )
+    base_vector_of = {pair: tuple(row) for pair, row in zip(base_pairs, base_vectors)}
+    for pair, row in zip(perm_pairs, perm_vectors):
+        mapped = tuple(sorted((back[pair[0]], back[pair[1]])))
+        if base_vector_of[mapped] != tuple(row):
+            raise VerificationError(
+                f"permutation (seed {seed}) changed the similarity vector of "
+                f"pair {mapped}: {base_vector_of[mapped]} vs {tuple(row)}"
+            )
+    # Dominance relation, expressed over pairs instead of vertex ids.
+    base_index = {pair: k for k, pair in enumerate(base_pairs)}
+    perm_to_base = [
+        base_index[tuple(sorted((back[i], back[j])))] for i, j in perm_pairs
+    ]
+    base_edges = naive_dominance_edges(base_vectors)
+    perm_edges = {
+        (perm_to_base[u], perm_to_base[v])
+        for u, v in naive_dominance_edges(perm_vectors)
+    }
+    if base_edges != perm_edges:
+        raise VerificationError(
+            f"permutation (seed {seed}) changed the dominance relation: "
+            f"{len(base_edges)} vs {len(perm_edges)} edges"
+        )
+    if _partition_signature(base_clusters) != _partition_signature(perm_clusters, back):
+        raise VerificationError(
+            f"permutation (seed {seed}) changed the resolved partition: "
+            f"{len(base_clusters)} vs {len(perm_clusters)} clusters"
+        )
+
+
+def check_duplicate_idempotence(
+    table: Table, record_id: int = 0, config: PowerConfig | None = None
+) -> None:
+    """An exact duplicate record must join its source's cluster and leave
+    the partition of the original records untouched."""
+    config = config or PowerConfig(epsilon=None)
+    source = table[record_id]
+    augmented = Table.from_rows(
+        name=f"{table.name}-dup",
+        attributes=table.attributes,
+        rows=[record.values for record in table] + [source.values],
+        entity_ids=[record.entity_id for record in table] + [source.entity_id],
+    )
+    duplicate_id = len(table)
+    _, _, base_clusters, cutoff = _monotone_resolution(table, config, cutoff=None)
+    _, _, dup_clusters, _ = _monotone_resolution(augmented, config, cutoff=cutoff)
+    dup_cluster = next(
+        cluster for cluster in dup_clusters if duplicate_id in cluster
+    )
+    if record_id not in dup_cluster:
+        raise VerificationError(
+            f"duplicate of record {record_id} landed in cluster {dup_cluster} "
+            "without its source"
+        )
+    stripped = {
+        frozenset(member for member in cluster if member != duplicate_id)
+        for cluster in dup_clusters
+    }
+    stripped.discard(frozenset())
+    if stripped != _partition_signature(base_clusters):
+        raise VerificationError(
+            f"appending a duplicate of record {record_id} changed the "
+            "partition of the original records"
+        )
+
+
+def check_cost_monotonicity(
+    pairs,
+    vectors: np.ndarray,
+    selector_name: str = "power",
+    seed: int = 0,
+    budgets: tuple[int, ...] = (0, 2, 5, 10, 10_000),
+) -> None:
+    """More budget must never buy fewer questions or a smaller bill.
+
+    Each budget gets a fresh selector and a fresh perfect crowd over the
+    same graph; as the cap grows, questions asked and cost must be
+    non-decreasing, and no run may overspend its cap.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    vertex_truth = monotone_truth(vectors)
+    truth = {pair: vertex_truth[vertex] for vertex, pair in enumerate(pairs)}
+    previous: tuple[int, int, int] | None = None
+    for budget in sorted(budgets):
+        graph = PairGraph(pairs, vectors)
+        session = PerfectCrowd(truth).session()
+        selector = SELECTORS[selector_name](seed=seed)
+        result = selector.run(graph, session, budget=budget)
+        if result.questions > budget:
+            raise VerificationError(
+                f"budget {budget} overspent: {result.questions} questions asked"
+            )
+        if previous is not None:
+            prev_budget, prev_questions, prev_cost = previous
+            if result.questions < prev_questions:
+                raise VerificationError(
+                    f"questions fell from {prev_questions} (budget {prev_budget}) "
+                    f"to {result.questions} (budget {budget})"
+                )
+            if result.cost_cents < prev_cost:
+                raise VerificationError(
+                    f"cost fell from {prev_cost} (budget {prev_budget}) to "
+                    f"{result.cost_cents} cents (budget {budget})"
+                )
+        previous = (budget, result.questions, result.cost_cents)

@@ -1,0 +1,389 @@
+"""Mutation self-test: seeded bugs the verification suite must catch.
+
+A verification suite that has never failed proves nothing — maybe the code
+is correct, maybe the checks are vacuous.  This module settles the question
+by *injecting* known bugs (mutants) into the production modules, running a
+compact detection battery under each one, and demanding that at least one
+check screams.  Every mutant models a realistic regression:
+
+======================  ====================================================
+mutant                  seeded bug
+======================  ====================================================
+``drop-dominance-edge`` the blocked kernel silently loses one edge
+``non-strict-dominance``  ``>=`` everywhere accepted without a strict ``>``
+``inverted-propagation``  GREEN votes descendants, RED votes ancestors
+``topo-layer-merge``    all Kahn levels collapse into a single layer
+``overlapping-paths``   the "minimum" path cover repeats a vertex
+``billing-floor``       HIT count floors instead of ceiling
+``weight-blind-votes``  weighted aggregation ignores worker accuracies
+======================  ====================================================
+
+Patching is done by rebinding module/class attributes inside a context
+manager that always restores the originals; lazily-imported helpers
+(``blocked_dominance_lists``, ``topological_layers``, ``minimum_path_cover``)
+are patched at their defining module *and* at every module-level import
+site, so both the production pipeline and the oracles see the mutated code.
+
+:func:`run_mutation_selftest` returns a
+:class:`~repro.verify.report.VerificationReport` with one result per
+mutant: *passed* means the battery detected the bug (any check raised), a
+failure means a seeded bug slipped through the entire suite undetected.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..crowd.platform import PerfectCrowd, SimulatedCrowd
+from ..crowd.worker import WorkerPool
+from ..exceptions import VerificationError
+from ..graph.dag import PairGraph
+from . import invariants, oracles
+from .report import VerificationReport
+
+PatchTarget = tuple[object, str, object]
+
+
+@contextmanager
+def _patched(*targets: PatchTarget) -> Iterator[None]:
+    """Rebind ``(owner, attribute, replacement)`` triples, restoring on exit."""
+    originals = [(owner, name, getattr(owner, name)) for owner, name, _ in targets]
+    try:
+        for owner, name, replacement in targets:
+            setattr(owner, name, replacement)
+        yield
+    finally:
+        for owner, name, original in originals:
+            setattr(owner, name, original)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded bug: a name, a story, and a patch context manager."""
+
+    name: str
+    description: str
+    activate: Callable[[], object]  # returns a context manager
+
+
+# --------------------------------------------------------------------------- #
+# The mutant catalog
+# --------------------------------------------------------------------------- #
+
+
+def _mutant_drop_dominance_edge():
+    """The blocked kernel loses the last edge of the first non-empty list."""
+    from ..graph import construction
+
+    original = construction.blocked_dominance_lists
+
+    def mutated(dominant, dominated, block_size=construction.DEFAULT_BLOCK_SIZE,
+                exclude_diagonal=True):
+        lists = original(dominant, dominated, block_size, exclude_diagonal)
+        for index, children in enumerate(lists):
+            if len(children):
+                lists[index] = children[:-1]
+                break
+        return lists
+
+    return _patched((construction, "blocked_dominance_lists", mutated))
+
+
+def _mutant_non_strict_dominance():
+    """Dominance accepts ``>=`` everywhere without requiring a strict ``>``."""
+
+    def mutated_descendants(self, vertex):
+        self._check_vertex(vertex)
+        return np.all(self.vectors <= self.vectors[vertex], axis=1)
+
+    def mutated_ancestors(self, vertex):
+        self._check_vertex(vertex)
+        return np.all(self.vectors >= self.vectors[vertex], axis=1)
+
+    return _patched(
+        (PairGraph, "descendant_mask", mutated_descendants),
+        (PairGraph, "ancestor_mask", mutated_ancestors),
+    )
+
+
+def _mutant_inverted_propagation():
+    """A GREEN answer votes descendants and a RED answer votes ancestors."""
+    from ..graph.coloring import Color, ColoringState
+
+    def mutated(self, vertex, answer, propagate=True):
+        self.graph._check_vertex(vertex)
+        self.asked_order.append(vertex)
+        self.colors[vertex] = Color.GREEN if answer else Color.RED
+        self._pinned[vertex] = True
+        if not propagate:
+            return
+        if answer:
+            targets = self.graph.descendant_mask(vertex)  # bug: wrong direction
+            self._green_votes[targets] += 1
+        else:
+            targets = self.graph.ancestor_mask(vertex)  # bug: wrong direction
+            self._red_votes[targets] += 1
+        self._refresh(targets)
+
+    return _patched((ColoringState, "apply_answer", mutated))
+
+
+def _mutant_topo_layer_merge():
+    """Every Kahn level collapses into one layer."""
+    from ..graph import topo
+    from ..selection import topo_sort
+
+    original = topo.topological_layers
+
+    def mutated(graph, active=None):
+        layers = original(graph, active)
+        if len(layers) <= 1:
+            return layers
+        return [np.concatenate(layers)]
+
+    return _patched(
+        (topo, "topological_layers", mutated),
+        (topo_sort, "topological_layers", mutated),
+    )
+
+
+def _mutant_overlapping_paths():
+    """The "minimum" path cover repeats a vertex across two paths."""
+    from ..graph import matching
+    from ..selection import multi_path, single_path
+
+    original = matching.minimum_path_cover
+
+    def mutated(adjacency):
+        paths = original(adjacency)
+        if len(paths) >= 2:
+            paths[1] = [paths[0][0]] + paths[1]
+        return paths
+
+    return _patched(
+        (matching, "minimum_path_cover", mutated),
+        (single_path, "minimum_path_cover", mutated),
+        (multi_path, "minimum_path_cover", mutated),
+    )
+
+
+def _mutant_billing_floor():
+    """HIT billing floors the question count instead of taking the ceiling."""
+    from ..crowd.platform import CrowdSession
+
+    def mutated_hits(self):
+        if not self._asked:
+            return 0
+        return (len(self._asked) // self.pairs_per_hit) * self.crowd.assignments
+
+    return _patched((CrowdSession, "hits", property(mutated_hits)))
+
+
+def _mutant_weight_blind_votes():
+    """Weighted aggregation quietly falls back to an unweighted majority."""
+    from ..crowd import platform
+    from ..crowd.aggregate import majority_vote
+
+    def mutated(votes, weights):
+        return majority_vote(votes)
+
+    return _patched((platform, "weighted_majority_vote", mutated))
+
+
+MUTANTS: tuple[Mutant, ...] = (
+    Mutant(
+        "drop-dominance-edge",
+        "blocked kernel silently loses one dominance edge",
+        _mutant_drop_dominance_edge,
+    ),
+    Mutant(
+        "non-strict-dominance",
+        "dominance accepts >= everywhere without a strict >",
+        _mutant_non_strict_dominance,
+    ),
+    Mutant(
+        "inverted-propagation",
+        "GREEN votes descendants and RED votes ancestors",
+        _mutant_inverted_propagation,
+    ),
+    Mutant(
+        "topo-layer-merge",
+        "all Kahn levels collapse into a single layer",
+        _mutant_topo_layer_merge,
+    ),
+    Mutant(
+        "overlapping-paths",
+        "the minimum path cover repeats a vertex",
+        _mutant_overlapping_paths,
+    ),
+    Mutant(
+        "billing-floor",
+        "HIT billing floors instead of ceiling",
+        _mutant_billing_floor,
+    ),
+    Mutant(
+        "weight-blind-votes",
+        "weighted vote aggregation ignores worker accuracies",
+        _mutant_weight_blind_votes,
+    ),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Detection battery
+# --------------------------------------------------------------------------- #
+
+
+def _battery_fixture(seed: int):
+    """Deterministic vectors/pairs shaped to exercise every mutant.
+
+    ``round(1)`` quantizes similarities so the partial order has real
+    duplicate vectors, long chains, and wide antichains — the regimes where
+    the seeded bugs actually bite.
+    """
+    rng = np.random.default_rng(seed)
+    vectors = rng.random((30, 4)).round(1)
+    pairs = [(2 * k, 2 * k + 1) for k in range(30)]
+    return pairs, vectors
+
+
+def run_detection_battery(seed: int = 0) -> None:
+    """The compact all-subsystem sweep each mutant must fail.
+
+    Raises :class:`~repro.exceptions.VerificationError` (or crashes) on the
+    first check that notices anything wrong; completes silently on healthy
+    code.
+    """
+    pairs, vectors = _battery_fixture(seed)
+
+    # Construction + structural invariants.
+    oracles.check_dominance_construction(vectors)
+    graph = PairGraph(pairs, vectors)
+    invariants.check_partial_order(graph)
+    invariants.check_acyclicity(graph)
+    invariants.check_topo_layers(graph)
+    invariants.check_path_cover(graph)
+
+    # Selector runs: production-vs-naive and the monotone exactness oracle.
+    oracles.check_selector_differential("power", pairs, vectors, seed=seed)
+    oracles.check_selector_differential("single-path", pairs, vectors, seed=seed)
+    oracles.check_selector_monotone_oracle("power", pairs, vectors, seed=seed)
+
+    # Billing: 13 distinct questions at 5 pairs/HIT makes floor != ceil.
+    truth = {pair: True for pair in pairs}
+    session = PerfectCrowd(truth).session(pairs_per_hit=5)
+    session.ask_batch(pairs[:13])
+    invariants.check_session_coherence(session)
+
+    # Crowd aggregation: heterogeneous accuracies, weighted majority.
+    mixed_truth = {pair: bool(index % 2) for index, pair in enumerate(pairs)}
+    crowd = SimulatedCrowd(
+        mixed_truth,
+        pool=WorkerPool(accuracy_range="80", seed=seed),
+        assignments=5,
+        aggregation="weighted",
+    )
+    oracles.check_crowd_aggregation(crowd, pairs[:10])
+
+
+def run_mutation_selftest(seed: int = 0) -> VerificationReport:
+    """Activate each mutant, demand the battery notices, restore, repeat.
+
+    Returns:
+        A report with one entry per mutant.  An entry *passes* when the
+        battery raised under the mutant (bug detected) and the pristine
+        battery still passes afterwards (patch fully restored).
+    """
+    from .report import CheckResult
+
+    report = VerificationReport()
+    # The battery must be green on unmutated code or detections mean nothing.
+    try:
+        run_detection_battery(seed)
+    except Exception as error:  # noqa: BLE001 - any failure poisons the test
+        report.add(
+            CheckResult(
+                name="mutation-selftest-baseline",
+                passed=False,
+                detail=f"battery fails on pristine code: {error}",
+            )
+        )
+        return report
+
+    for mutant in MUTANTS:
+        started = time.perf_counter()
+        detected_by: str | None = None
+        with mutant.activate():
+            try:
+                run_detection_battery(seed)
+            except VerificationError as error:
+                detected_by = f"VerificationError: {error}"
+            except Exception as error:  # noqa: BLE001 - loud crash also counts
+                detected_by = f"{type(error).__name__}: {error}"
+        elapsed = time.perf_counter() - started
+        if detected_by is None:
+            report.add(
+                CheckResult(
+                    name=f"mutant[{mutant.name}]",
+                    passed=False,
+                    detail=(
+                        f"seeded bug went undetected: {mutant.description}"
+                    ),
+                    seconds=elapsed,
+                )
+            )
+        else:
+            first_line = detected_by.splitlines()[0][:160]
+            report.add(
+                CheckResult(
+                    name=f"mutant[{mutant.name}]",
+                    passed=True,
+                    detail=first_line,
+                    seconds=elapsed,
+                )
+            )
+    # Restoration check: the pristine battery must still pass.
+    started = time.perf_counter()
+    try:
+        run_detection_battery(seed)
+    except Exception as error:  # noqa: BLE001
+        report.add(
+            CheckResult(
+                name="mutation-selftest-restore",
+                passed=False,
+                detail=f"battery fails after restore: {error}",
+                seconds=time.perf_counter() - started,
+            )
+        )
+    else:
+        report.add(
+            CheckResult(
+                name="mutation-selftest-restore",
+                passed=True,
+                seconds=time.perf_counter() - started,
+            )
+        )
+    return report
+
+
+def detected_mutants(report: VerificationReport) -> list[str]:
+    """Names of mutants the battery caught (convenience for tests/CLI)."""
+    return [
+        result.name.removeprefix("mutant[").removesuffix("]")
+        for result in report.results
+        if result.name.startswith("mutant[") and result.passed
+    ]
+
+
+__all__ = [
+    "MUTANTS",
+    "Mutant",
+    "run_detection_battery",
+    "run_mutation_selftest",
+    "detected_mutants",
+]

@@ -1,0 +1,615 @@
+"""Differential oracles: brute-force references for the production paths.
+
+Every optimized component of the pipeline has a deliberately naive twin in
+this module — small, loop-heavy, obviously-correct Python that recomputes
+the same answer from first principles:
+
+* :func:`naive_dominance_edges` — O(n^2 m) strict-dominance edges, written
+  independently of :mod:`repro.graph.construction` (no shared comparator).
+* :func:`naive_transitive_closure` — BFS closure, used to certify that the
+  dominance relation is its own transitive closure.
+* :class:`NaivePairGraph` / :class:`NaiveGroupedGraph` — brute-force
+  :class:`~repro.graph.dag.OrderedGraph` implementations.  Running the
+  *same* selector against the naive and the production graph with identical
+  crowds must produce identical runs, question for question — which
+  exercises the blocked dominance kernel, the vectorized masks, and the
+  grouped-bound arithmetic under every selector's real access pattern.
+* :class:`ReferenceColoring` — a dict/set replay of the coloring engine's
+  pin-and-vote semantics (§3.2/§5.3), cross-checked against the production
+  :class:`~repro.graph.coloring.ColoringState` after each run.
+* :class:`GreedyReferenceSelector` — a deterministic greedy selector used
+  as an end-to-end reference policy.
+* :func:`monotone_truth` — ground truth that respects the partial order by
+  construction, so a perfect crowd plus correct inference must reproduce it
+  *exactly* (the end-to-end oracle).
+
+All oracles raise :class:`~repro.exceptions.VerificationError` with a
+pinpointed counterexample on disagreement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..crowd.platform import PerfectCrowd, SimulatedCrowd
+from ..crowd.worker import WorkerPool
+from ..data.ground_truth import Pair
+from ..data.table import Table
+from ..exceptions import VerificationError
+from ..graph.coloring import Color, ColoringState
+from ..graph.dag import OrderedGraph, PairGraph
+from ..graph.grouped_graph import GroupedGraph
+from ..selection import SELECTORS
+from ..selection.base import QuestionSelector, SelectionResult
+from ..similarity.vectors import SimilarityConfig, similarity_matrix
+
+Edge = tuple[int, int]
+
+
+# --------------------------------------------------------------------------- #
+# Naive dominance relation
+# --------------------------------------------------------------------------- #
+
+
+def naive_dominance_edges(vectors: np.ndarray) -> set[Edge]:
+    """Strict-dominance edges by definition: two nested Python loops.
+
+    Independent of :mod:`repro.graph.construction` — no shared comparator,
+    no numpy broadcasting — so a bug there cannot hide here.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    rows = [list(map(float, row)) for row in vectors]
+    edges: set[Edge] = set()
+    for u, row_u in enumerate(rows):
+        for v, row_v in enumerate(rows):
+            if u == v:
+                continue
+            if all(a >= b for a, b in zip(row_u, row_v)) and any(
+                a > b for a, b in zip(row_u, row_v)
+            ):
+                edges.add((u, v))
+    return edges
+
+
+def naive_transitive_closure(edges: set[Edge], num_vertices: int) -> set[Edge]:
+    """Reachability closure of *edges* via per-vertex BFS."""
+    children: dict[int, list[int]] = {v: [] for v in range(num_vertices)}
+    for u, v in edges:
+        children[u].append(v)
+    closure: set[Edge] = set()
+    for source in range(num_vertices):
+        seen = {source}
+        queue = deque(children[source])
+        while queue:
+            vertex = queue.popleft()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            closure.add((source, vertex))
+            queue.extend(children[vertex])
+    return closure
+
+
+def _diff_edges(label_a: str, edges_a: set[Edge], label_b: str, edges_b: set[Edge]) -> None:
+    if edges_a == edges_b:
+        return
+    missing = sorted(edges_a - edges_b)[:5]
+    extra = sorted(edges_b - edges_a)[:5]
+    raise VerificationError(
+        f"{label_b} disagrees with {label_a}: "
+        f"{len(edges_a - edges_b)} missing (e.g. {missing}), "
+        f"{len(edges_b - edges_a)} extra (e.g. {extra})"
+    )
+
+
+def check_dominance_construction(vectors: np.ndarray) -> None:
+    """All §4.1 construction algorithms must equal the naive edge set.
+
+    Covers ``brute-force``, ``quicksort``, ``index`` (when m >= 2),
+    ``vectorized``, ``blocked``, and the adjacency-list form of the blocked
+    kernel (:func:`~repro.graph.construction.blocked_dominance_lists`).
+    """
+    from ..graph.construction import (
+        CONSTRUCTION_ALGORITHMS,
+        blocked_dominance_lists,
+    )
+
+    vectors = np.asarray(vectors, dtype=np.float64)
+    reference = naive_dominance_edges(vectors)
+    for name, algorithm in CONSTRUCTION_ALGORITHMS.items():
+        if name == "index" and vectors.shape[1] < 2:
+            continue
+        _diff_edges("naive oracle", reference, f"construction[{name}]", algorithm(vectors))
+    lists = blocked_dominance_lists(vectors, vectors, block_size=7)
+    if len(lists) != vectors.shape[0]:
+        raise VerificationError(
+            f"blocked_dominance_lists returned {len(lists)} lists for "
+            f"{vectors.shape[0]} vertices"
+        )
+    from_lists = {
+        (u, int(v)) for u, children in enumerate(lists) for v in children
+    }
+    _diff_edges("naive oracle", reference, "blocked_dominance_lists", from_lists)
+
+
+def check_transitive_closure(vectors: np.ndarray) -> None:
+    """The dominance relation must be its own transitive closure."""
+    edges = naive_dominance_edges(vectors)
+    closure = naive_transitive_closure(edges, np.asarray(vectors).shape[0])
+    _diff_edges("dominance edges", edges, "their transitive closure", closure)
+
+
+# --------------------------------------------------------------------------- #
+# Naive similarity oracles
+# --------------------------------------------------------------------------- #
+
+
+def check_batch_similarity(
+    table: Table, pairs: Sequence[Pair], config: SimilarityConfig
+) -> None:
+    """The batch similarity matrix must be bit-identical to the scalar one."""
+    from ..similarity.batch import batch_similarity_matrix
+
+    reference = similarity_matrix(table, pairs, config)
+    fast = batch_similarity_matrix(table, pairs, config)
+    if reference.shape != fast.shape:
+        raise VerificationError(
+            f"batch similarity shape {fast.shape} != scalar {reference.shape}"
+        )
+    if len(pairs) and not np.array_equal(reference, fast):
+        row, col = np.argwhere(reference != fast)[0]
+        raise VerificationError(
+            f"batch similarity differs from scalar at pair {pairs[row]} "
+            f"attribute {col}: {fast[row, col]!r} != {reference[row, col]!r}"
+        )
+
+
+def check_join_methods(table: Table, threshold: float) -> None:
+    """naive / prefix / sparse joins must produce the identical pair set."""
+    from ..similarity.join import similar_pairs
+
+    reference = similar_pairs(table, threshold, method="naive")
+    for method in ("prefix", "sparse"):
+        candidate = similar_pairs(table, threshold, method=method)
+        _diff_edges(
+            "naive join", set(reference), f"{method} join", set(candidate)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Naive crowd aggregation oracle
+# --------------------------------------------------------------------------- #
+
+
+def check_crowd_aggregation(crowd: SimulatedCrowd, pairs: Sequence[Pair]) -> None:
+    """The platform's cached answers must equal a naive recomputation.
+
+    For every pair the oracle re-derives the worker assignment, the
+    individual votes, and the (weighted) majority aggregate with plain
+    Python loops, then compares answer, confidence, and the vote tuple
+    against ``crowd.answer`` — twice, so a poisoned or bypassed answer
+    cache is caught as well.
+    """
+    from ..data.ground_truth import canonical_pair
+
+    for raw_pair in pairs:
+        pair = canonical_pair(*raw_pair)
+        truth = crowd.truth[pair]
+        workers = crowd._select_workers(pair)
+        difficulty = (
+            1.0 if crowd.difficulty is None else crowd.difficulty.get(pair, 1.0)
+        )
+        votes = [worker.answer(pair, truth, difficulty) for worker in workers]
+        if crowd.aggregation == "weighted":
+            weights = [worker.accuracy for worker in workers]
+            yes_weight = sum(
+                weight for vote, weight in zip(votes, weights) if vote
+            )
+            total = sum(weights)
+            expected_answer = yes_weight > total - yes_weight
+            expected_confidence = max(yes_weight, total - yes_weight) / total
+        else:
+            yes = sum(votes)
+            expected_answer = yes > len(votes) - yes
+            expected_confidence = max(yes, len(votes) - yes) / len(votes)
+        for attempt in ("first ask", "cached re-ask"):
+            outcome = crowd.answer(pair)
+            if (
+                outcome.answer != expected_answer
+                or outcome.confidence != expected_confidence
+                or tuple(outcome.votes) != tuple(votes)
+            ):
+                raise VerificationError(
+                    f"crowd aggregation for pair {pair} ({attempt}) disagrees "
+                    f"with the naive recomputation: platform "
+                    f"({outcome.answer}, {outcome.confidence:.4f}, {outcome.votes}) "
+                    f"vs naive ({expected_answer}, {expected_confidence:.4f}, "
+                    f"{tuple(votes)})"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Naive graphs: brute-force OrderedGraph implementations
+# --------------------------------------------------------------------------- #
+
+
+class NaivePairGraph(PairGraph):
+    """Brute-force twin of :class:`~repro.graph.dag.PairGraph`.
+
+    Subclasses :class:`PairGraph` only to satisfy the ``isinstance`` checks
+    scattered through the selectors (topological keys, error-tolerant base
+    lookup); every dominance primitive is overridden with pure-Python
+    comparisons, and ``_dominance_operands`` returns ``None`` so adjacency is
+    built through the per-vertex reference loop instead of the blocked
+    kernel.
+    """
+
+    def __init__(self, pairs: Sequence[Pair], vectors: np.ndarray) -> None:
+        super().__init__(pairs, vectors)
+        self._rows = [list(map(float, row)) for row in self.vectors]
+
+    def _dominance_operands(self) -> None:  # type: ignore[override]
+        return None
+
+    @staticmethod
+    def _dominates(row_u: list[float], row_v: list[float]) -> bool:
+        return all(a >= b for a, b in zip(row_u, row_v)) and any(
+            a > b for a, b in zip(row_u, row_v)
+        )
+
+    def descendant_mask(self, vertex: int) -> np.ndarray:
+        self._check_vertex(vertex)
+        row = self._rows[vertex]
+        mask = np.zeros(len(self), dtype=bool)
+        for other, other_row in enumerate(self._rows):
+            if other != vertex and self._dominates(row, other_row):
+                mask[other] = True
+        return mask
+
+    def ancestor_mask(self, vertex: int) -> np.ndarray:
+        self._check_vertex(vertex)
+        row = self._rows[vertex]
+        mask = np.zeros(len(self), dtype=bool)
+        for other, other_row in enumerate(self._rows):
+            if other != vertex and self._dominates(other_row, row):
+                mask[other] = True
+        return mask
+
+
+class NaiveGroupedGraph(OrderedGraph):
+    """Brute-force twin of :class:`~repro.graph.grouped_graph.GroupedGraph`.
+
+    Built from the same base graph and grouping, but group bounds and the
+    Eq. 5-6 dominance test are recomputed with Python loops.
+    """
+
+    def __init__(self, base: NaivePairGraph | PairGraph, grouping: Sequence[Sequence[int]]) -> None:
+        super().__init__(num_vertices=len(grouping))
+        self.base = base
+        self.grouping = [list(group) for group in grouping]
+        vectors = np.asarray(base.vectors, dtype=np.float64)
+        self._lower = [
+            [min(float(vectors[member][k]) for member in group) for k in range(vectors.shape[1])]
+            for group in self.grouping
+        ]
+        self._upper = [
+            [max(float(vectors[member][k]) for member in group) for k in range(vectors.shape[1])]
+            for group in self.grouping
+        ]
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._lower[0]) if self._lower else 0
+
+    @property
+    def lower_bounds(self) -> np.ndarray:
+        """Per-group lower-bound vectors (matches :class:`GroupedGraph`)."""
+        return np.asarray(self._lower, dtype=np.float64)
+
+    @property
+    def upper_bounds(self) -> np.ndarray:
+        """Per-group upper-bound vectors (matches :class:`GroupedGraph`)."""
+        return np.asarray(self._upper, dtype=np.float64)
+
+    def _dominates(self, u: int, v: int) -> bool:
+        lower_u, upper_v = self._lower[u], self._upper[v]
+        return all(a >= b for a, b in zip(lower_u, upper_v)) and any(
+            a > b for a, b in zip(lower_u, upper_v)
+        )
+
+    def descendant_mask(self, vertex: int) -> np.ndarray:
+        self._check_vertex(vertex)
+        mask = np.zeros(len(self), dtype=bool)
+        for other in range(len(self)):
+            if other != vertex and self._dominates(vertex, other):
+                mask[other] = True
+        return mask
+
+    def ancestor_mask(self, vertex: int) -> np.ndarray:
+        self._check_vertex(vertex)
+        mask = np.zeros(len(self), dtype=bool)
+        for other in range(len(self)):
+            if other != vertex and self._dominates(other, vertex):
+                mask[other] = True
+        return mask
+
+    def member_pairs(self, vertex: int) -> tuple[Pair, ...]:
+        self._check_vertex(vertex)
+        return tuple(self.base.pairs[member] for member in self.grouping[vertex])
+
+    def representative_pair(self, vertex: int, rng: np.random.Generator) -> Pair:
+        self._check_vertex(vertex)
+        group = self.grouping[vertex]
+        return self.base.pairs[group[int(rng.integers(0, len(group)))]]
+
+
+# --------------------------------------------------------------------------- #
+# Reference coloring: dict/set replay of the pin-and-vote engine
+# --------------------------------------------------------------------------- #
+
+
+class ReferenceColoring:
+    """Pure-Python replay of :class:`~repro.graph.coloring.ColoringState`.
+
+    Pinned answers never change; unpinned vertices take the majority of the
+    GREEN/RED votes they received, ties RED; BLUE vertices are pinned and
+    inert — the exact §3.2/§5.3 semantics, recomputed over a naive edge
+    dictionary.
+    """
+
+    def __init__(self, edges: set[Edge], num_vertices: int) -> None:
+        self.num_vertices = num_vertices
+        self.parents: dict[int, set[int]] = {v: set() for v in range(num_vertices)}
+        self.children: dict[int, set[int]] = {v: set() for v in range(num_vertices)}
+        for u, v in edges:
+            self.children[u].add(v)
+            self.parents[v].add(u)
+        self.pinned: dict[int, Color] = {}
+        self.green_votes = [0] * num_vertices
+        self.red_votes = [0] * num_vertices
+
+    def apply(self, vertex: int, color: Color) -> None:
+        self.pinned[vertex] = color
+        if color == Color.GREEN:
+            for ancestor in self.parents[vertex]:
+                self.green_votes[ancestor] += 1
+        elif color == Color.RED:
+            for descendant in self.children[vertex]:
+                self.red_votes[descendant] += 1
+        # BLUE pins without voting, per mark_blue.
+
+    def color_of(self, vertex: int) -> Color:
+        pinned = self.pinned.get(vertex)
+        if pinned is not None:
+            return pinned
+        greens, reds = self.green_votes[vertex], self.red_votes[vertex]
+        if greens == 0 and reds == 0:
+            return Color.UNCOLORED
+        return Color.GREEN if greens > reds else Color.RED
+
+    def colors(self) -> list[Color]:
+        return [self.color_of(vertex) for vertex in range(self.num_vertices)]
+
+
+def _graph_edges(graph: OrderedGraph) -> set[Edge]:
+    """The graph's dominance relation recomputed naively from its own data."""
+    if isinstance(graph, (PairGraph, NaivePairGraph)):
+        return naive_dominance_edges(graph.vectors)
+    if isinstance(graph, GroupedGraph):
+        edges: set[Edge] = set()
+        lower, upper = graph.lower_bounds, graph.upper_bounds
+        for u in range(len(graph)):
+            for v in range(len(graph)):
+                if u == v:
+                    continue
+                if all(
+                    float(lower[u][k]) >= float(upper[v][k])
+                    for k in range(lower.shape[1])
+                ) and any(
+                    float(lower[u][k]) > float(upper[v][k])
+                    for k in range(lower.shape[1])
+                ):
+                    edges.add((u, v))
+        return edges
+    if isinstance(graph, NaiveGroupedGraph):
+        return {
+            (u, v)
+            for u in range(len(graph))
+            for v in range(len(graph))
+            if u != v and graph._dominates(u, v)
+        }
+    # Fallback: trust the masks (still exercises the mask/adjacency pairing).
+    return {
+        (u, int(v))
+        for u in range(len(graph))
+        for v in np.flatnonzero(graph.descendant_mask(u))
+    }
+
+
+def check_coloring_replay(graph: OrderedGraph, state: ColoringState) -> None:
+    """Replay a finished run's pinned answers through :class:`ReferenceColoring`.
+
+    The production state's final colors must match the replay vertex for
+    vertex; any divergence means the vectorized vote propagation or the
+    pinning rules drifted from the paper's semantics.
+    """
+    replay = ReferenceColoring(_graph_edges(graph), len(graph))
+    for vertex in state.asked_order:
+        replay.apply(vertex, Color(int(state.colors[vertex])))
+    # force_color pins (histogram step) are pinned outside asked_order.
+    for vertex in range(len(graph)):
+        if state._pinned[vertex] and vertex not in replay.pinned:
+            replay.pinned[vertex] = Color(int(state.colors[vertex]))
+    expected = replay.colors()
+    for vertex in range(len(graph)):
+        actual = Color(int(state.colors[vertex]))
+        if actual != expected[vertex]:
+            raise VerificationError(
+                f"coloring replay disagrees at vertex {vertex}: production "
+                f"{actual.name}, reference {expected[vertex].name} "
+                f"(green votes {replay.green_votes[vertex]}, "
+                f"red votes {replay.red_votes[vertex]})"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Reference selector + monotone end-to-end oracle
+# --------------------------------------------------------------------------- #
+
+
+class GreedyReferenceSelector(QuestionSelector):
+    """Deterministic greedy reference policy.
+
+    Asks the uncolored vertex with the most uncolored comparable partners
+    (ancestors + descendants), lowest id on ties — an obviously-correct
+    "maximize immediate inference" strategy used as an end-to-end reference
+    run for the coloring engine and the crowd session plumbing.
+    """
+
+    name = "greedy-reference"
+
+    def select(
+        self, graph: OrderedGraph, state: ColoringState, rng: np.random.Generator
+    ) -> list[int]:
+        uncolored = state.uncolored_mask()
+        best_vertex, best_score = -1, -1
+        for vertex in np.flatnonzero(uncolored):
+            vertex = int(vertex)
+            score = int(
+                np.count_nonzero(graph.ancestor_mask(vertex) & uncolored)
+                + np.count_nonzero(graph.descendant_mask(vertex) & uncolored)
+            )
+            if score > best_score:
+                best_vertex, best_score = vertex, score
+        return [best_vertex]
+
+
+def monotone_truth(vectors: np.ndarray, cutoff: float | None = None) -> dict[int, bool]:
+    """Per-vertex truth that respects the partial order by construction.
+
+    A vertex matches iff its mean attribute similarity reaches *cutoff*
+    (default: the median).  Since ``u > v`` implies ``mean(u) >= mean(v)``,
+    this truth is monotone along dominance edges, so a perfect crowd plus a
+    correct inference engine must reproduce it *exactly* whatever the
+    selector asks.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    means = vectors.mean(axis=1) if vectors.size else np.zeros(vectors.shape[0])
+    if cutoff is None:
+        cutoff = float(np.median(means)) if means.size else 0.5
+    return {vertex: bool(means[vertex] >= cutoff) for vertex in range(vectors.shape[0])}
+
+
+def _run_selector(
+    selector_name: str,
+    graph: OrderedGraph,
+    truth: dict[Pair, bool],
+    seed: int,
+    band: str | None = None,
+) -> SelectionResult:
+    if selector_name == "greedy-reference":
+        selector = GreedyReferenceSelector(seed=seed)
+    else:
+        selector = SELECTORS[selector_name](seed=seed)
+    if band is None:
+        crowd: SimulatedCrowd = PerfectCrowd(truth)
+    else:
+        crowd = SimulatedCrowd(
+            truth, pool=WorkerPool(accuracy_range=band, seed=seed), assignments=5
+        )
+    return selector.run(graph, crowd.session())
+
+
+def _pair_truth_from_vertices(
+    pairs: Sequence[Pair], vertex_truth: dict[int, bool]
+) -> dict[Pair, bool]:
+    return {pair: vertex_truth[vertex] for vertex, pair in enumerate(pairs)}
+
+
+def check_selector_differential(
+    selector_name: str,
+    pairs: Sequence[Pair],
+    vectors: np.ndarray,
+    seed: int,
+    epsilon: float | None = None,
+    band: str | None = None,
+) -> None:
+    """One selector, two graphs: production vs brute-force must agree exactly.
+
+    The same selector (same seed) runs once on the production graph
+    (:class:`PairGraph`, optionally grouped) and once on its naive twin,
+    each against an identical fresh crowd.  Labels, question counts,
+    iteration counts, and final coloring must all be equal — any divergence
+    means a production graph primitive (blocked kernel, vectorized mask,
+    grouped bound) lied to the selector at some step.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    truth = _pair_truth_from_vertices(pairs, monotone_truth(vectors))
+    production_base = PairGraph(pairs, vectors)
+    naive_base = NaivePairGraph(pairs, vectors)
+    production: OrderedGraph = production_base
+    naive: OrderedGraph = naive_base
+    if epsilon is not None:
+        from ..graph.grouping import split_grouping
+
+        grouping = split_grouping(vectors, epsilon)
+        production = GroupedGraph(production_base, grouping)
+        naive = NaiveGroupedGraph(naive_base, grouping)
+    fast = _run_selector(selector_name, production, truth, seed, band=band)
+    slow = _run_selector(selector_name, naive, truth, seed, band=band)
+    label = f"selector[{selector_name}] seed={seed} epsilon={epsilon}"
+    if fast.labels != slow.labels:
+        diff = [
+            pair
+            for pair in set(fast.labels) | set(slow.labels)
+            if fast.labels.get(pair) != slow.labels.get(pair)
+        ][:5]
+        raise VerificationError(
+            f"{label}: production and naive graphs disagree on labels "
+            f"(e.g. {diff})"
+        )
+    if (fast.questions, fast.iterations) != (slow.questions, slow.iterations):
+        raise VerificationError(
+            f"{label}: question/iteration counts diverge: production "
+            f"({fast.questions}, {fast.iterations}) vs naive "
+            f"({slow.questions}, {slow.iterations})"
+        )
+    if fast.state is not None and slow.state is not None and not np.array_equal(
+        fast.state.colors, slow.state.colors
+    ):
+        vertex = int(np.flatnonzero(fast.state.colors != slow.state.colors)[0])
+        raise VerificationError(
+            f"{label}: final colors diverge at vertex {vertex}"
+        )
+    if fast.state is not None:
+        check_coloring_replay(production, fast.state)
+
+
+def check_selector_monotone_oracle(
+    selector_name: str,
+    pairs: Sequence[Pair],
+    vectors: np.ndarray,
+    seed: int,
+) -> None:
+    """Perfect crowd + monotone truth ⇒ the run must recover truth exactly.
+
+    Runs on the ungrouped graph (grouped graphs answer one member per group,
+    so exactness is only guaranteed per-vertex).  Catches inverted
+    propagation, broken layering, and billing-free mutants that still
+    mis-label.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    truth = _pair_truth_from_vertices(pairs, monotone_truth(vectors))
+    graph = PairGraph(pairs, vectors)
+    result = _run_selector(selector_name, graph, truth, seed)
+    for pair, expected in truth.items():
+        actual = result.labels.get(pair)
+        if actual != expected:
+            raise VerificationError(
+                f"selector[{selector_name}] seed={seed}: perfect crowd on "
+                f"monotone truth mislabeled pair {pair}: got {actual}, "
+                f"expected {expected}"
+            )

@@ -96,3 +96,85 @@ class TestConstrainedClusters:
         state = ConstrainedClusters(4)
         state.record_yes(0, 1)
         assert not state.inferable((2, 3))
+
+
+MERGES = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=30
+)
+
+
+class TestUnionFindProperties:
+    """Hypothesis laws for the disjoint-set structure."""
+
+    @settings(max_examples=60)
+    @given(MERGES)
+    def test_union_is_idempotent(self, merges):
+        """Replaying every union a second time changes no partition."""
+        once, twice = UnionFind(12), UnionFind(12)
+        for a, b in merges:
+            once.union(a, b)
+            twice.union(a, b)
+            twice.union(a, b)
+        snapshot = lambda uf: sorted(map(tuple, uf.clusters().values()))  # noqa: E731
+        assert snapshot(once) == snapshot(twice)
+
+    @settings(max_examples=60)
+    @given(MERGES)
+    def test_path_compression_equivalence(self, merges):
+        """Compressed find agrees with a compression-free root walk."""
+        sets = UnionFind(12)
+        for a, b in merges:
+            sets.union(a, b)
+
+        def slow_root(item: int) -> int:
+            parent = sets._parent[item]
+            while parent != sets._parent[parent]:
+                parent = sets._parent[parent]
+            return parent
+
+        for item in range(12):
+            expected = slow_root(item)
+            assert sets.find(item) == expected
+            # find() compressed the path; the root must be unchanged and
+            # every later find must keep returning it.
+            assert sets.find(item) == expected
+            assert sets._parent[item] == expected
+
+    @settings(max_examples=60)
+    @given(MERGES)
+    def test_connectivity_matches_bfs(self, merges):
+        """connected() agrees with reachability over the merge edges."""
+        sets = UnionFind(12)
+        neighbors = {v: set() for v in range(12)}
+        for a, b in merges:
+            sets.union(a, b)
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+        for source in range(12):
+            seen = {source}
+            frontier = [source]
+            while frontier:
+                vertex = frontier.pop()
+                for other in neighbors[vertex]:
+                    if other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+            for other in range(12):
+                assert sets.connected(source, other) == (other in seen)
+
+    @settings(max_examples=60)
+    @given(MERGES)
+    def test_union_returns_surviving_root(self, merges):
+        sets = UnionFind(12)
+        for a, b in merges:
+            root = sets.union(a, b)
+            assert sets.find(a) == sets.find(b) == root
+
+    @settings(max_examples=40)
+    @given(MERGES)
+    def test_clusters_partition_the_universe(self, merges):
+        sets = UnionFind(12)
+        for a, b in merges:
+            sets.union(a, b)
+        members = [item for cluster in sets.clusters().values() for item in cluster]
+        assert sorted(members) == list(range(12))

@@ -1,7 +1,7 @@
 """Tests for the pairwise quality metrics (§7.1)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import pairwise_quality
@@ -65,3 +65,50 @@ class TestPairwiseQuality:
         assert 0.0 <= report.f_measure <= 1.0
         # The harmonic mean is bounded by its arguments (up to float noise).
         assert report.f_measure <= max(report.precision, report.recall) + 1e-9
+
+
+class TestQualityProperties:
+    """Hypothesis laws for the pairwise metrics."""
+
+    @settings(max_examples=60)
+    @given(PAIRS, PAIRS)
+    def test_f1_symmetry(self, predicted, gold):
+        """Swapping predicted and gold swaps P and R but preserves F1."""
+        forward = pairwise_quality(predicted, gold)
+        backward = pairwise_quality(gold, predicted)
+        assert forward.precision == backward.recall
+        assert forward.recall == backward.precision
+        assert forward.f_measure == pytest.approx(backward.f_measure)
+
+    @settings(max_examples=60)
+    @given(PAIRS, PAIRS)
+    def test_f1_zero_iff_no_true_positive(self, predicted, gold):
+        """With a non-trivial instance, F1 = 0 exactly when TP = 0.
+
+        Both-empty is the vacuous exception: P = R = 1 by convention even
+        though TP = 0, so it is excluded via ``assume``.
+        """
+        assume(predicted or gold)
+        report = pairwise_quality(predicted, gold)
+        if report.true_positives == 0:
+            assert report.f_measure == 0.0
+        else:
+            assert report.f_measure > 0.0
+
+    @settings(max_examples=60)
+    @given(PAIRS)
+    def test_self_comparison_is_perfect(self, pairs):
+        report = pairwise_quality(pairs, pairs)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f_measure == 1.0
+        assert report.false_positives == report.false_negatives == 0
+
+    @settings(max_examples=60)
+    @given(PAIRS, PAIRS)
+    def test_counts_are_consistent(self, predicted, gold):
+        report = pairwise_quality(predicted, gold)
+        canonical_predicted = {tuple(sorted(p)) for p in predicted}
+        canonical_gold = {tuple(sorted(p)) for p in gold}
+        assert report.true_positives + report.false_positives == len(canonical_predicted)
+        assert report.true_positives + report.false_negatives == len(canonical_gold)

@@ -99,3 +99,91 @@ class TestEdgeSemantics:
             index_edges(vectors, indexed_attributes=(0, 0))
         with pytest.raises(GraphError):
             index_edges(vectors, indexed_attributes=(0, 5))
+
+
+class TestBlockedDominanceListsEdgeCases:
+    """Regression battery for the blocked (tiled) adjacency kernel.
+
+    Every case must be *bit-identical* to the scalar per-vertex reference
+    (a plain broadcast over one row at a time), including the shapes and
+    dtypes of the returned index arrays.
+    """
+
+    @staticmethod
+    def _scalar_reference(dominant, dominated, exclude_diagonal=True):
+        dominant = np.asarray(dominant, dtype=np.float64)
+        dominated = np.asarray(dominated, dtype=np.float64)
+        lists = []
+        for u in range(dominant.shape[0]):
+            row = dominant[u]
+            mask = np.all(dominated <= row, axis=1) & np.any(dominated < row, axis=1)
+            if exclude_diagonal and u < dominated.shape[0]:
+                mask[u] = False
+            lists.append(np.flatnonzero(mask))
+        return lists
+
+    def _assert_identical(self, dominant, dominated=None, **kwargs):
+        from repro.graph.construction import blocked_dominance_lists
+
+        if dominated is None:
+            dominated = dominant
+        fast = blocked_dominance_lists(np.asarray(dominant, dtype=np.float64),
+                                       np.asarray(dominated, dtype=np.float64),
+                                       **kwargs)
+        slow = self._scalar_reference(
+            dominant, dominated, exclude_diagonal=kwargs.get("exclude_diagonal", True)
+        )
+        assert len(fast) == len(slow)
+        for u, (fast_row, slow_row) in enumerate(zip(fast, slow)):
+            assert fast_row.dtype.kind == "i", f"row {u} has dtype {fast_row.dtype}"
+            assert np.array_equal(fast_row, slow_row), (
+                f"row {u}: blocked {fast_row.tolist()} != scalar {slow_row.tolist()}"
+            )
+
+    def test_empty_block(self):
+        """Zero vectors: one empty list per vertex — i.e. none at all."""
+        self._assert_identical(np.empty((0, 3)))
+
+    def test_empty_block_with_attributes_zero(self):
+        self._assert_identical(np.empty((0, 0)))
+
+    def test_singleton_block(self):
+        """One vertex: never dominates itself, whatever the block size."""
+        self._assert_identical(np.array([[0.4, 0.8, 0.1]]), block_size=1)
+        self._assert_identical(np.array([[0.4, 0.8, 0.1]]), block_size=1024)
+
+    def test_all_identical_vectors(self):
+        """Equal rows are mutually incomparable: no strict component."""
+        vectors = np.full((9, 4), 0.5)
+        self._assert_identical(vectors, block_size=4)
+        from repro.graph.construction import blocked_dominance_lists
+
+        lists = blocked_dominance_lists(vectors, vectors, block_size=4)
+        assert all(len(row) == 0 for row in lists)
+
+    def test_block_size_one(self):
+        self._assert_identical(random_vectors(17, 13, 3), block_size=1)
+
+    def test_block_size_larger_than_input(self):
+        self._assert_identical(random_vectors(18, 13, 3), block_size=4096)
+
+    def test_block_boundary_sizes(self):
+        """n exactly at, one below, and one above a block multiple."""
+        for n in (7, 8, 9):
+            self._assert_identical(random_vectors(19, n, 3), block_size=4)
+
+    def test_distinct_operands(self):
+        """Grouped-graph shape: lower bounds dominate upper bounds."""
+        upper = random_vectors(20, 11, 3)
+        lower = np.clip(upper - 0.2, 0.0, 1.0)
+        self._assert_identical(lower, upper, block_size=4, exclude_diagonal=False)
+
+    def test_mismatched_shapes_rejected(self):
+        """The kernel requires row-aligned operands of identical shape."""
+        from repro.graph.construction import blocked_dominance_lists
+
+        with pytest.raises(GraphError):
+            blocked_dominance_lists(random_vectors(20, 6, 3), random_vectors(21, 11, 3))
+
+    def test_single_attribute(self):
+        self._assert_identical(random_vectors(22, 10, 1), block_size=3)

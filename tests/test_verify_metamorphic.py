@@ -1,0 +1,109 @@
+"""Metamorphic laws, driven deterministically and through hypothesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthesize
+from repro.data.perturb import LIGHT_PERTURBATIONS
+from repro.data.vocab import CITIES, CUISINES, RESTAURANT_NAME_HEADS
+from repro.exceptions import VerificationError
+from repro.verify import (
+    check_cost_monotonicity,
+    check_duplicate_idempotence,
+    check_permutation_invariance,
+    random_instance,
+)
+
+
+def _entity_factory(rng: np.random.Generator) -> tuple[str, str, str]:
+    name = RESTAURANT_NAME_HEADS[int(rng.integers(0, len(RESTAURANT_NAME_HEADS)))]
+    city = CITIES[int(rng.integers(0, len(CITIES)))]
+    cuisine = CUISINES[int(rng.integers(0, len(CUISINES)))]
+    return (f"{name} cafe", city, cuisine)
+
+
+def _nontrivial(check, *args, **kwargs) -> None:
+    """Run *check*, discarding hypothesis examples whose graph is empty."""
+    try:
+        check(*args, **kwargs)
+    except VerificationError as error:
+        if "no candidate pairs" in str(error):
+            assume(False)
+        raise
+
+
+def _tiny_table(seed: int, num_records: int = 24):
+    return synthesize(
+        name=f"meta-{seed}",
+        attributes=("name", "city", "cuisine"),
+        entity_factory=_entity_factory,
+        num_entities=max(2, num_records // 2),
+        num_records=num_records,
+        seed=seed,
+        intensity=0.4,
+        pool=LIGHT_PERTURBATIONS,
+    )
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_shuffling_records_changes_nothing(self, seed):
+        check_permutation_invariance(_tiny_table(seed), seed=seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hypothesis_sweep(self, seed):
+        _nontrivial(check_permutation_invariance, _tiny_table(seed % 97), seed=seed)
+
+    @pytest.mark.slow
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(20, 48))
+    def test_hypothesis_sweep_slow(self, seed, num_records):
+        _nontrivial(
+            check_permutation_invariance,
+            _tiny_table(seed % 997, num_records),
+            seed=seed,
+        )
+
+
+class TestDuplicateIdempotence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_duplicate_joins_source_cluster(self, seed):
+        check_duplicate_idempotence(_tiny_table(seed), record_id=seed % 5)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 23))
+    def test_hypothesis_sweep(self, seed, record_id):
+        _nontrivial(
+            check_duplicate_idempotence, _tiny_table(seed % 97), record_id=record_id
+        )
+
+
+class TestCostMonotonicity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_budget_growth_never_shrinks_cost(self, seed):
+        pairs, vectors = random_instance(seed)
+        check_cost_monotonicity(pairs, vectors, seed=seed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hypothesis_sweep(self, seed):
+        pairs, vectors = random_instance(seed % 997)
+        check_cost_monotonicity(pairs, vectors, seed=seed)
+
+    def test_overspending_selector_detected(self, monkeypatch):
+        from repro.selection.base import QuestionSelector
+
+        original = QuestionSelector.run
+
+        def overspending(self, graph, session, budget=None):
+            return original(self, graph, session, budget=None)  # ignores budget
+
+        monkeypatch.setattr(QuestionSelector, "run", overspending)
+        pairs, vectors = random_instance(0)
+        with pytest.raises(VerificationError, match="overspent"):
+            check_cost_monotonicity(pairs, vectors, budgets=(0, 2))

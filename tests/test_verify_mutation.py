@@ -1,0 +1,64 @@
+"""The mutation self-test: every seeded bug must be detected."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import MUTANTS, run_detection_battery, run_mutation_selftest
+from repro.verify.mutation import detected_mutants
+
+
+class TestMutationSelfTest:
+    def test_catalog_has_at_least_six_mutants(self):
+        assert len(MUTANTS) >= 6
+        assert len({mutant.name for mutant in MUTANTS}) == len(MUTANTS)
+
+    def test_pristine_battery_passes(self):
+        run_detection_battery(seed=0)
+
+    def test_every_mutant_is_detected(self):
+        report = run_mutation_selftest(seed=0)
+        assert report.passed, report.summary()
+        assert set(detected_mutants(report)) == {mutant.name for mutant in MUTANTS}
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_detection_is_seed_robust(self, seed):
+        report = run_mutation_selftest(seed=seed)
+        assert report.passed, report.summary()
+
+    def test_patches_are_fully_restored(self):
+        import repro.crowd.platform as platform
+        import repro.graph.construction as construction
+        import repro.graph.matching as matching
+        import repro.graph.topo as topo
+        from repro.crowd.platform import CrowdSession
+        from repro.graph.coloring import ColoringState
+        from repro.graph.dag import PairGraph
+
+        before = (
+            construction.blocked_dominance_lists,
+            topo.topological_layers,
+            matching.minimum_path_cover,
+            platform.weighted_majority_vote,
+            ColoringState.apply_answer,
+            PairGraph.descendant_mask,
+            CrowdSession.hits,
+        )
+        run_mutation_selftest(seed=0)
+        after = (
+            construction.blocked_dominance_lists,
+            topo.topological_layers,
+            matching.minimum_path_cover,
+            platform.weighted_majority_vote,
+            ColoringState.apply_answer,
+            PairGraph.descendant_mask,
+            CrowdSession.hits,
+        )
+        assert before == after
+
+    def test_each_mutant_actually_changes_behavior(self):
+        """Activating a mutant must make the pristine battery fail loudly."""
+        for mutant in MUTANTS:
+            with mutant.activate():
+                with pytest.raises(Exception):  # noqa: B017 - any loud failure counts
+                    run_detection_battery(seed=0)
