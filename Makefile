@@ -17,6 +17,11 @@
 #   make bench-perf   - full pipeline benchmark; enforces the 5x vectorize /
 #                       3x construct speedup floors and refreshes
 #                       benchmarks/results/BENCH_pipeline.json
+#   make shard-smoke  - 2-worker sharded resolution (exact mode) asserting
+#                       byte-equivalence with the serial resolver
+#   make bench-shard  - shard-scaling benchmark: speedup curve + measured
+#                       Amdahl fraction; enforces the 2.5x @ 4 workers floor
+#                       and refreshes benchmarks/results/BENCH_shard.json
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -24,15 +29,19 @@ export PYTHONPATH := src
 # Minimum acceptable line coverage (percent) for `make coverage`.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: check test engine-smoke verify lint coverage bench-smoke bench-perf
+.PHONY: check test engine-smoke shard-smoke verify lint coverage bench-smoke bench-perf bench-shard
 
-check: test engine-smoke verify coverage lint
+check: test engine-smoke shard-smoke verify coverage lint
 
 test:
 	$(PYTHON) -m pytest -q
 
 engine-smoke:
 	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/engine_smoke.py
+
+shard-smoke:
+	$(PYTHON) -m repro shard --dataset restaurant --scale 0.05 --workers 2 \
+		--check-equivalence
 
 verify:
 	$(PYTHON) -m repro verify --dataset restaurant --scale 0.05 --quiet
@@ -62,3 +71,6 @@ bench-smoke:
 
 bench-perf:
 	$(PYTHON) benchmarks/bench_perf_pipeline.py --check
+
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard_scaling.py --check

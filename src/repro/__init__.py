@@ -34,6 +34,7 @@ from .engine import (
     RetryPolicy,
     Telemetry,
 )
+from .shard import ShardedResolver, ShardExecutor
 from .selection import (
     ErrorPolicy,
     MultiPathSelector,
@@ -74,6 +75,8 @@ __all__ = [
     "RandomSelector",
     "ResolutionResult",
     "SELECTORS",
+    "ShardExecutor",
+    "ShardedResolver",
     "SimilarityConfig",
     "SimulatedCrowd",
     "SinglePathSelector",

@@ -42,6 +42,18 @@ class PowerConfig:
         confidence_threshold / num_bins / binning: the Power+ knobs.
         assignments: workers per question, ``z`` (paper: 5).
         seed: base seed for every stochastic component.
+        shards: number of shard work units for
+            :class:`~repro.shard.ShardedResolver` (``None`` → one per
+            worker process).  In the exact mode this is the number of
+            data-parallel slices (any value yields bit-identical results);
+            in the independent mode it is the number of per-shard
+            resolution loops.
+        shard_max_pairs: size cap for the independent-mode partitioner —
+            connected components of the candidate graph holding more pairs
+            than this are split on their weakest edges (``None`` → an
+            automatic ``ceil(pairs / shards)`` cap).
+        shard_retries: re-submissions per failed shard task before the
+            executor falls back to in-process execution.
     """
 
     similarity: str | tuple[str, ...] = "bigram"
@@ -59,6 +71,9 @@ class PowerConfig:
     binning: str = "equi-depth"
     assignments: int = 5
     seed: int = 0
+    shards: int | None = None
+    shard_max_pairs: int | None = None
+    shard_retries: int = 2
 
     def __post_init__(self) -> None:
         from ..similarity.join import JOIN_METHODS
@@ -80,6 +95,18 @@ class PowerConfig:
         if self.assignments < 1:
             raise ConfigurationError(
                 f"assignments must be >= 1, got {self.assignments}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1 or None, got {self.shards}"
+            )
+        if self.shard_max_pairs is not None and self.shard_max_pairs < 1:
+            raise ConfigurationError(
+                f"shard_max_pairs must be >= 1 or None, got {self.shard_max_pairs}"
+            )
+        if self.shard_retries < 0:
+            raise ConfigurationError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
             )
 
     def error_policy(self) -> ErrorPolicy | None:

@@ -8,9 +8,15 @@ records, builds a partial-order graph over *only the new candidate pairs*
 (new×old and new×new), asks the crowd through the configured selector, and
 folds the answers into the clustering.
 
-Candidate generation is incremental too: an inverted token index over all
-seen records lets each new record find its similar partners without a full
-re-join.
+Candidate generation rides the vectorized batch substrate: the record
+texts live in a :class:`~repro.similarity.batch.TokenIndex` (a packed
+bit-matrix of token sets), and each new record's candidate partners are
+found with one vectorized Jaccard sweep against every earlier record —
+bit-identical to the scalar token-overlap join, just without the Python
+loops.  Per-batch similarity vectors likewise flow through
+:func:`~repro.similarity.batch.batch_similarity_matrix` whenever
+``config.use_batch_similarity`` is set (the default), exactly like the
+one-shot resolver.
 
 What carries over from the paper unchanged: the similarity vectors, the
 grouping, the selector, and the error tolerance all operate per batch; the
@@ -19,8 +25,9 @@ cost advantage compounds because the old×old pairs are never revisited.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Sequence
+
+import numpy as np
 
 from ..crowd.platform import SimulatedCrowd
 from ..crowd.worker import WorkerPool
@@ -28,9 +35,8 @@ from ..data.ground_truth import Pair, pair_truth, true_match_pairs
 from ..data.table import Table
 from ..exceptions import ConfigurationError, DataError
 from ..graph.grouped_graph import build_graph
-from ..similarity.jaccard import jaccard
-from ..similarity.tokenize import word_tokens
-from ..similarity.vectors import similarity_matrix
+from ..similarity.batch import TokenIndex
+from ..similarity.tokenize import qgram_tokens, word_tokens
 from .clustering import clusters_from_matches
 from .config import PowerConfig
 from .metrics import QualityReport, pairwise_quality
@@ -56,8 +62,7 @@ class IncrementalResolver:
         self.config = config or PowerConfig()
         self.table = Table(name=name, attributes=tuple(attributes))
         self._resolver = PowerResolver(self.config)
-        self._token_index: dict[str, list[int]] = defaultdict(list)
-        self._record_tokens: list[frozenset[str]] = []
+        self._index: TokenIndex | None = None
         self.labels: dict[Pair, bool] = {}
         self.total_questions = 0
         self.total_iterations = 0
@@ -68,35 +73,48 @@ class IncrementalResolver:
     # Candidate generation (incremental similarity join)
     # ------------------------------------------------------------------ #
 
-    def _index_record(self, record_id: int) -> None:
-        tokens = word_tokens(self.table.record_text(record_id))
-        self._record_tokens.append(tokens)
-        for token in tokens:
-            self._token_index[token].append(record_id)
+    def _rebuild_index(self) -> None:
+        """Refresh the packed token bit-matrix over every record seen so far.
+
+        :class:`~repro.similarity.batch.TokenIndex` is a batch structure —
+        dense token ids, one packed row per distinct string — so the stream
+        maintains it by rebuilding after each batch.  The rebuild is pure
+        vectorized interning/packing (no crowd work, no similarity calls)
+        and is negligible next to the questions the batch triggers.
+        """
+        tokenizer = (
+            qgram_tokens if self.config.join_tokens == "qgram" else word_tokens
+        )
+        texts = [
+            self.table.record_text(record_id)
+            for record_id in range(len(self.table))
+        ]
+        self._index = TokenIndex(texts, tokenizer)
 
     def _candidates_for(self, record_id: int) -> list[Pair]:
-        """Earlier records whose record-level Jaccard clears the threshold."""
+        """Earlier records whose record-level Jaccard clears the threshold.
+
+        One vectorized :meth:`TokenIndex.jaccard_pairs` sweep of the new
+        record against all earlier records with a non-empty token set.
+        Equivalent to the scalar inverted-list probe: with a positive
+        pruning threshold, ``jaccard >= threshold`` already implies at
+        least one shared token, and empty-token records (whose batch-path
+        empty-vs-empty convention is 1.0) are excluded on both sides just
+        as an empty record posts no tokens to an inverted index.
+        """
+        index = self._index
+        assert index is not None  # _rebuild_index precedes any probe
         threshold = self.config.pruning_threshold
-        tokens = self._record_tokens[record_id]
-        if not tokens:
+        sizes = index.sizes[index.row_of_text]
+        if record_id == 0 or sizes[record_id] == 0:
             return []
-        seen: set[int] = set()
-        for token in tokens:
-            for other in self._token_index[token]:
-                if other != record_id:
-                    seen.add(other)
-        pairs: list[Pair] = []
-        for other in sorted(seen):
-            other_tokens = self._record_tokens[other]
-            # Length filter before the exact Jaccard.
-            if len(other_tokens) < threshold * len(tokens) or len(tokens) < (
-                threshold * len(other_tokens)
-            ):
-                continue
-            if jaccard(tokens, other_tokens) >= threshold:
-                low, high = (other, record_id) if other < record_id else (record_id, other)
-                pairs.append((low, high))
-        return pairs
+        earlier = np.flatnonzero(sizes[:record_id] > 0)
+        if earlier.size == 0:
+            return []
+        scores = index.jaccard_pairs(
+            np.full(earlier.size, record_id, dtype=np.int64), earlier
+        )
+        return [(int(other), record_id) for other in earlier[scores >= threshold]]
 
     # ------------------------------------------------------------------ #
     # Streaming API
@@ -136,7 +154,7 @@ class IncrementalResolver:
                 tuple(str(value) for value in row), entity_id=entity
             )
             new_ids.append(record.record_id)
-            self._index_record(record.record_id)
+        self._rebuild_index()
 
         pairs: list[Pair] = []
         for record_id in new_ids:
@@ -150,9 +168,10 @@ class IncrementalResolver:
             "iterations": 0,
         }
         if pairs:
-            vectors = similarity_matrix(
-                self.table, pairs, self._resolver.similarity_config(self.table)
-            )
+            # Routed through batch_similarity_matrix when the config's
+            # use_batch_similarity is set (the default), scalar otherwise —
+            # the same dispatch the one-shot resolver uses.
+            vectors = self._resolver.similarity_vectors(self.table, pairs)
             graph = build_graph(
                 pairs,
                 vectors,

@@ -1,6 +1,6 @@
 """Experiment harnesses reproducing every table and figure of the paper."""
 
-from . import ablations, figures, perf
+from . import ablations, figures, perf, shard_scaling
 from .reporting import emit, format_table
 from .runner import (
     METHODS,
@@ -31,4 +31,5 @@ __all__ = [
     "perf",
     "prepare",
     "run_method",
+    "shard_scaling",
 ]

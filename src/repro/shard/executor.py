@@ -1,0 +1,310 @@
+"""Process-pool scheduling with retries, timeouts, and in-process fallback.
+
+:class:`ShardExecutor` is the scheduling layer of :mod:`repro.shard`: it
+runs picklable task specs (from :mod:`repro.shard.worker`) through a
+:class:`concurrent.futures.ProcessPoolExecutor` with
+
+* **largest-shard-first dispatch** — tasks are submitted in descending
+  weight order (classic LPT), so the heaviest work starts first and the
+  tail of the schedule is short;
+* **per-task timeout and retry** — a task that raises, times out, or takes
+  its worker process down (``BrokenProcessPool``) is re-submitted up to
+  ``retries`` times on a (recreated, if necessary) pool;
+* **in-process fallback** — a task that exhausts its retries runs inline
+  in the coordinator.  Because every task is a pure function of its spec,
+  retries and fallbacks are not best-effort recovery: they produce the
+  *same bytes* the healthy path would have produced.
+
+``workers=0`` short-circuits to fully inline execution (no processes, no
+pickling) — the mode the verification battery and the mutation self-test
+use, and the proof obligation that the parallel path's task/merge
+decomposition, not multiprocessing luck, carries the equivalence.
+
+The module also hosts the **budget-split** helpers for the independent
+execution mode: :func:`split_question_budget` (largest-remainder
+proportional split of a global question budget across shards) and
+:func:`questions_for_cents` (money → questions via the same
+:class:`~repro.engine.budget.BudgetGuard` inversion the engine uses, so
+shard budget enforcement can never drift from billing).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..engine.budget import BudgetGuard
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class ExecutorStats:
+    """Fault-handling telemetry for one executor lifetime.
+
+    ``run_seconds`` accumulates the wall time spent inside
+    :meth:`ShardExecutor.run`.  With ``workers=0`` (inline execution) it
+    is exactly the total task compute time — the *parallelizable seconds*
+    of the pipeline — which the scaling benchmark divides by the total
+    wall time to measure the Amdahl parallel fraction.
+    """
+
+    tasks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    broken_pools: int = 0
+    fallbacks: int = 0
+    run_seconds: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "broken_pools": self.broken_pools,
+            "fallbacks": self.fallbacks,
+            "run_seconds": round(self.run_seconds, 6),
+            "errors": list(self.errors),
+        }
+
+
+class ShardExecutor:
+    """Run pure task specs across worker processes, surviving faults.
+
+    Args:
+        workers: process-pool size; ``0`` runs every task inline in the
+            calling process (deterministic, dependency-free — used by the
+            verification battery).
+        retries: re-submissions per task before the in-process fallback
+            (crashes, exceptions, and timeouts all count as one attempt).
+        timeout: per-task seconds before a worker is declared hung and its
+            pool is torn down; ``None`` disables the timeout.
+        mp_context: :mod:`multiprocessing` start-method name; ``None``
+            picks the platform default (``fork`` on Linux, which shares
+            the parent's imports for free).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        retries: int = 2,
+        timeout: float | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0 or None, got {timeout}")
+        self.workers = workers
+        self.retries = retries
+        self.timeout = timeout
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self._mp_context)
+                if self._mp_context
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def _teardown_pool(self, kill: bool) -> None:
+        """Shut the pool down; *kill* terminates worker processes first.
+
+        Killing is the only way to reclaim a **hung** worker: cancelling a
+        running future is a no-op, so a timed-out task would otherwise pin
+        its process forever.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already-dead process
+                    pass
+        pool.shutdown(wait=not kill, cancel_futures=True)
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self._teardown_pool(kill=False)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Running tasks
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        weights: Sequence[float] | None = None,
+    ) -> list:
+        """Run ``fn(task)`` for every task; results in **task order**.
+
+        Tasks are dispatched largest-weight-first (ties: task order).  Any
+        task failure — exception, worker crash, timeout — is retried up to
+        ``retries`` times, then the task runs inline.  The returned list is
+        ordered like *tasks* regardless of completion order.
+        """
+        tasks = list(tasks)
+        if weights is not None and len(weights) != len(tasks):
+            raise ConfigurationError(
+                f"{len(tasks)} tasks but {len(weights)} weights"
+            )
+        self.stats.tasks += len(tasks)
+        if not tasks:
+            return []
+        started = time.perf_counter()
+        try:
+            if self.workers <= 0:
+                return [self._run_inline(fn, task) for task in tasks]
+            order = sorted(
+                range(len(tasks)),
+                key=lambda index: (
+                    -(weights[index] if weights is not None else 0),
+                    index,
+                ),
+            )
+            futures: dict[int, Future] = {}
+            pool = self._ensure_pool()
+            for index in order:
+                futures[index] = pool.submit(fn, tasks[index])
+            results: list = [None] * len(tasks)
+            for index in order:
+                results[index] = self._collect(fn, tasks, futures, index)
+            return results
+        finally:
+            self.stats.run_seconds += time.perf_counter() - started
+
+    def _run_inline(self, fn: Callable, task) -> object:
+        """Inline execution with the same retry budget as the pool path."""
+        attempt = 0
+        while True:
+            try:
+                return fn(task)
+            except Exception as error:  # noqa: BLE001 - retried, then raised
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self.stats.retries += 1
+                self.stats.errors.append(f"inline {type(error).__name__}: {error}")
+
+    def _collect(self, fn: Callable, tasks: Sequence, futures: dict, index: int):
+        """Await one task's future, retrying / falling back on failure."""
+        attempt = 0
+        while True:
+            try:
+                return futures[index].result(timeout=self.timeout)
+            except Exception as error:  # noqa: BLE001 - classified below
+                attempt += 1
+                if isinstance(error, FutureTimeout):
+                    self.stats.timeouts += 1
+                    # A hung worker never yields its process back; kill the
+                    # pool and let in-flight siblings retry on a fresh one.
+                    self._teardown_pool(kill=True)
+                elif isinstance(error, BrokenProcessPool):
+                    self.stats.broken_pools += 1
+                    self._teardown_pool(kill=True)
+                self.stats.errors.append(f"{type(error).__name__}: {error}")
+                if attempt > self.retries:
+                    self.stats.fallbacks += 1
+                    return fn(tasks[index])  # pure task: inline == worker
+                self.stats.retries += 1
+                futures[index] = self._ensure_pool().submit(fn, tasks[index])
+
+
+# --------------------------------------------------------------------------- #
+# Budget split (independent mode)
+# --------------------------------------------------------------------------- #
+
+
+def split_question_budget(total: int, loads: Sequence[int]) -> list[int]:
+    """Split a global question budget across shards, proportional to load.
+
+    Largest-remainder apportionment: each shard gets
+    ``floor(total * load / sum(loads))`` questions, and the leftover
+    questions go to the largest fractional remainders (ties: lowest shard
+    id).  The split is deterministic and sums exactly to *total*; it is
+    not clipped to the per-shard load — a shard's budget may exceed what
+    it can ask, matching the serial anytime semantics where an
+    over-generous budget is simply not spent.
+    """
+    if total < 0:
+        raise ConfigurationError(f"total budget must be >= 0, got {total}")
+    loads = [int(load) for load in loads]
+    if any(load < 0 for load in loads):
+        raise ConfigurationError(f"loads must be >= 0, got {loads}")
+    if not loads:
+        return []
+    mass = sum(loads)
+    if mass == 0:
+        return [0] * len(loads)
+    raw = [total * load / mass for load in loads]
+    split = [math.floor(amount) for amount in raw]
+    leftover = total - sum(split)
+    remainders = sorted(
+        range(len(loads)), key=lambda index: (-(raw[index] - split[index]), index)
+    )
+    for index in remainders[:leftover]:
+        split[index] += 1
+    return split
+
+
+def questions_for_cents(
+    max_cents: float,
+    pairs_per_hit: int = 10,
+    cents_per_hit: int = 10,
+    assignments: int = 5,
+) -> int:
+    """The largest distinct-question count whose bill fits *max_cents*.
+
+    Delegates to :meth:`repro.engine.budget.BudgetGuard.affordable_questions`
+    — the inversion of :class:`~repro.crowd.platform.CrowdSession`'s pinned
+    pooled-ceiling billing — so a cents budget converted here and enforced
+    as a question budget can never overspend nor understate what the
+    session would actually bill.
+    """
+    guard = BudgetGuard(max_cents=max_cents)
+    # Large enough to never clip: one HIT per question is the worst case.
+    ceiling = int(max_cents) * max(1, pairs_per_hit) + pairs_per_hit
+    return guard.affordable_questions(
+        asked=0,
+        requested=ceiling,
+        pairs_per_hit=pairs_per_hit,
+        cents_per_hit=cents_per_hit,
+        assignments=assignments,
+    )
+
+
+__all__ = [
+    "ExecutorStats",
+    "ShardExecutor",
+    "split_question_budget",
+    "questions_for_cents",
+]

@@ -13,6 +13,7 @@ from .join import (
     JOIN_METHODS,
     similar_pairs,
     similar_pairs_edit,
+    similar_pairs_range,
     top_k_pairs,
 )
 from .tokenize import normalize, qgram_tokens, word_tokens
@@ -45,6 +46,7 @@ __all__ = [
     "resolve_functions",
     "similar_pairs",
     "similar_pairs_edit",
+    "similar_pairs_range",
     "similarity_matrix",
     "sparse_jaccard_join",
     "token_jaccard",

@@ -83,25 +83,94 @@ def similar_pairs(
     return sorted(pairs)
 
 
-def _naive_join(token_sets: Sequence[frozenset[str]], threshold: float) -> set[Pair]:
+def similar_pairs_range(
+    table: Table,
+    threshold: float,
+    lo: int,
+    hi: int,
+    tokens: str = "word",
+    method: str = "auto",
+) -> list[Pair]:
+    """The slice of :func:`similar_pairs` owned by probe records ``[lo, hi)``.
+
+    Every candidate pair ``(a, b)`` with ``a < b`` is *owned* by its higher
+    record id ``b``; this returns exactly the pairs whose owner falls in
+    ``[lo, hi)``.  Tiling the record range therefore tiles the full join
+    output — the union over disjoint covering ranges equals
+    ``similar_pairs(table, threshold, ...)`` pair for pair, because every
+    surviving pair is verified with the same exact Jaccard comparison and
+    the prefix filter admits no false negatives for any probe schedule.
+
+    This is the work unit of the sharded resolver's parallel candidate
+    join.  A range task replays the (cheap) index insertions for records
+    before *lo* and probes only its own records, so per-task overhead is
+    the tokenization plus O(prefix tokens) appends — negligible next to
+    the candidate verification it parallelizes.
+
+    ``method="sparse"`` has no range form (the numpy inverted join is one
+    global matrix product) and raises.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+    if tokens not in ("word", "qgram"):
+        raise ConfigurationError(f"tokens must be 'word' or 'qgram', got {tokens!r}")
+    if not 0 <= lo <= hi <= len(table):
+        raise ConfigurationError(
+            f"range [{lo}, {hi}) escapes the {len(table)}-record table"
+        )
+    if method == "auto":
+        method = "prefix" if len(table) > AUTO_PREFIX_CROSSOVER else "naive"
+    if method == "sparse":
+        raise ConfigurationError("the sparse join has no range-restricted form")
+    if method not in ("naive", "prefix"):
+        raise ConfigurationError(f"unknown join method {method!r}")
+    if len(table) < 2 or lo == hi:
+        return []
+    token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
+    if method == "naive":
+        pairs = _naive_join(token_sets, threshold, lo=lo, hi=hi)
+    else:
+        pairs = _prefix_join(token_sets, threshold, lo=lo, hi=hi)
+    return sorted(pairs)
+
+
+def _naive_join(
+    token_sets: Sequence[frozenset[str]],
+    threshold: float,
+    lo: int = 0,
+    hi: int | None = None,
+) -> set[Pair]:
     pairs: set[Pair] = set()
     n = len(token_sets)
-    for i in range(n):
-        tokens_i = token_sets[i]
-        for j in range(i + 1, n):
-            if jaccard(tokens_i, token_sets[j]) >= threshold:
+    hi = n if hi is None else hi
+    for j in range(lo, hi):
+        tokens_j = token_sets[j]
+        for i in range(j):
+            if jaccard(token_sets[i], tokens_j) >= threshold:
                 pairs.add((i, j))
     return pairs
 
 
-def _prefix_join(token_sets: Sequence[frozenset[str]], threshold: float) -> set[Pair]:
+def _prefix_join(
+    token_sets: Sequence[frozenset[str]],
+    threshold: float,
+    lo: int = 0,
+    hi: int | None = None,
+) -> set[Pair]:
     """Prefix-filtered self-join for Jaccard.
 
     For Jaccard(a, b) >= t, the sets must share a token within the first
     ``|a| - ceil(t * |a|) + 1`` tokens when both sets are ordered by a global
     token order (rarest first).  We index those prefixes and verify only the
     colliding pairs.
+
+    With a ``[lo, hi)`` probe range, records before *lo* are only
+    *inserted* (their prefix tokens are appended to the index, rebuilding
+    the exact index state the serial loop would have at record *lo*) and
+    records in the range are probed and inserted as usual — so the range's
+    output is exactly the serial join's pairs owned by those records.
     """
+    hi = len(token_sets) if hi is None else hi
     frequency: Counter[str] = Counter()
     for tokens in token_sets:
         frequency.update(tokens)
@@ -116,11 +185,16 @@ def _prefix_join(token_sets: Sequence[frozenset[str]], threshold: float) -> set[
 
     index: dict[str, list[int]] = defaultdict(list)
     pairs: set[Pair] = set()
-    for record_id, tokens in enumerate(sorted_tokens):
+    for record_id, tokens in enumerate(sorted_tokens[:hi]):
         size = len(tokens)
         if size == 0:
             continue
         prefix_len = size - math.ceil(threshold * size) + 1
+        if record_id < lo:
+            # Replay: index state only, no probing (cheap appends).
+            for token in tokens[:prefix_len]:
+                index[token].append(record_id)
+            continue
         candidates: set[int] = set()
         for token in tokens[:prefix_len]:
             candidates.update(index[token])

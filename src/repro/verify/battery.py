@@ -273,6 +273,14 @@ def _dataset_checks(config: BatteryConfig, report: VerificationReport) -> None:
 
     run_check(report, f"verified-resolution[{table.name}]", verified_resolution)
 
+    run_check(
+        report,
+        f"shard-equivalence[{table.name}]",
+        lambda: oracles.check_shard_equivalence(
+            table, seed=config.base_seed, shard_counts=(2, 4)
+        ),
+    )
+
     if config.include_metamorphic:
         run_check(
             report,

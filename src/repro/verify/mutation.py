@@ -16,6 +16,7 @@ mutant                  seeded bug
 ``overlapping-paths``   the "minimum" path cover repeats a vertex
 ``billing-floor``       HIT count floors instead of ceiling
 ``weight-blind-votes``  weighted aggregation ignores worker accuracies
+``shard-merge-drop``    the shard merge drops every slice's votes but one
 ======================  ====================================================
 
 Patching is done by rebinding module/class attributes inside a context
@@ -36,6 +37,7 @@ import time
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -195,6 +197,29 @@ def _mutant_weight_blind_votes():
     return _patched((platform, "weighted_majority_vote", mutated))
 
 
+def _mutant_shard_merge_drop():
+    """The shard vote merge keeps only the first slice's contribution.
+
+    Models the classic parallel-reduction bug: a merge that is only
+    correct for a single worker.  Patched at the defining module *and* at
+    the resolver's import site, exactly like the other lazily-bound
+    helpers, so the sharded lockstep loop actually runs the broken merge.
+    """
+    from ..shard import merge as shard_merge
+    from ..shard import resolver as shard_resolver
+
+    original = shard_merge.merge_vote_deltas
+
+    def mutated(slices, num_vertices):
+        slices = list(slices)
+        return original(slices[:1], num_vertices)  # bug: drops slices 2..n
+
+    return _patched(
+        (shard_merge, "merge_vote_deltas", mutated),
+        (shard_resolver, "merge_vote_deltas", mutated),
+    )
+
+
 MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         "drop-dominance-edge",
@@ -231,12 +256,30 @@ MUTANTS: tuple[Mutant, ...] = (
         "weighted vote aggregation ignores worker accuracies",
         _mutant_weight_blind_votes,
     ),
+    Mutant(
+        "shard-merge-drop",
+        "the shard vote merge drops every slice's contribution but the first",
+        _mutant_shard_merge_drop,
+    ),
 )
 
 
 # --------------------------------------------------------------------------- #
 # Detection battery
 # --------------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=2)
+def _battery_table(scale: float = 0.05):
+    """A small cached restaurant sample for the shard-equivalence step.
+
+    Cached because the detection battery runs once per mutant plus the
+    baseline/restore sweeps; the table itself is immutable.
+    """
+    from ..data.generators import restaurant
+    from .battery import subsample_table
+
+    return subsample_table(restaurant(), scale)
 
 
 def _battery_fixture(seed: int):
@@ -289,6 +332,13 @@ def run_detection_battery(seed: int = 0) -> None:
         aggregation="weighted",
     )
     oracles.check_crowd_aggregation(crowd, pairs[:10])
+
+    # Sharded lockstep vs serial resolver: inline (workers=0), >= 2 slices,
+    # so a merge that drops or double-counts a shard's contribution has to
+    # change the transcript, the labels, or the bill.
+    oracles.check_shard_equivalence(
+        _battery_table(), seed=seed, shard_counts=(2, 3)
+    )
 
 
 def run_mutation_selftest(seed: int = 0) -> VerificationReport:

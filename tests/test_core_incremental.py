@@ -95,6 +95,80 @@ class TestBatchAPI:
             stream_in_batches(small_table, batch_size=0)
 
 
+class TestBatchSubstrateParity:
+    def test_candidates_match_scalar_inverted_index(self, small_table):
+        """The TokenIndex candidate sweep equals a scalar inverted-list
+        probe with exact Jaccard verification — the pre-refactor reference."""
+        from collections import defaultdict
+
+        from repro.similarity.jaccard import jaccard
+        from repro.similarity.tokenize import word_tokens
+
+        resolver = stream_in_batches(small_table, batch_size=9, worker_band="90")
+        threshold = resolver.config.pruning_threshold
+
+        # Scalar reference: ad-hoc token -> record ids inverted index.
+        token_index = defaultdict(list)
+        record_tokens = []
+        for record_id in range(len(resolver.table)):
+            tokens = word_tokens(resolver.table.record_text(record_id))
+            record_tokens.append(tokens)
+            for token in tokens:
+                token_index[token].append(record_id)
+
+        def reference_candidates(record_id):
+            tokens = record_tokens[record_id]
+            if not tokens:
+                return []
+            seen = {
+                other
+                for token in tokens
+                for other in token_index[token]
+                if other < record_id
+            }
+            return sorted(
+                (other, record_id)
+                for other in seen
+                if jaccard(tokens, record_tokens[other]) >= threshold
+            )
+
+        for record_id in range(len(resolver.table)):
+            assert resolver._candidates_for(record_id) == reference_candidates(
+                record_id
+            ), f"candidate parity broke at record {record_id}"
+
+    def test_empty_token_records_never_pair(self):
+        """Empty-vs-empty Jaccard is 1.0 in the batch kernel, but empty
+        records post no tokens to an inverted index — the stream must keep
+        the inverted-index convention."""
+        resolver = IncrementalResolver(("a",), config=PowerConfig(seed=0))
+        report = resolver.add_batch(
+            [("",), ("",), ("alpha beta",)], entity_ids=[1, 2, 3]
+        )
+        assert report["new_pairs"] == 0
+        assert resolver._candidates_for(0) == []
+        assert resolver._candidates_for(1) == []
+
+    def test_batch_and_scalar_vectors_agree_end_to_end(self, small_table):
+        """Streaming with the vectorized similarity substrate must replay
+        the scalar substrate's run byte for byte."""
+        runs = [
+            stream_in_batches(
+                small_table,
+                batch_size=12,
+                config=PowerConfig(seed=0, use_batch_similarity=flag),
+                worker_band="90",
+            )
+            for flag in (True, False)
+        ]
+        fast, slow = runs
+        assert fast.labels == slow.labels
+        assert fast.total_questions == slow.total_questions
+        assert fast.total_iterations == slow.total_iterations
+        assert fast.total_cost_cents == slow.total_cost_cents
+        assert fast.clusters() == slow.clusters()
+
+
 class TestIncrementalVsOneShot:
     def test_same_clusters_with_oracle(self, small_table):
         """With perfect answers, streaming resolution reaches (nearly) the

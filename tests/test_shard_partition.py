@@ -1,0 +1,216 @@
+"""Property tests for the shard partitioner (:mod:`repro.shard.partition`).
+
+The partitioner's contract, enforced here with hypothesis-generated
+candidate graphs:
+
+* **disjoint** — no candidate pair lands in two shards;
+* **covering** — every candidate pair lands in exactly one shard;
+* **split discipline** — a connected component is never split across
+  shards unless it holds more than ``max_pairs`` candidate pairs;
+* **balance** — the heaviest shard carries at most twice the ideal
+  (mean) load whenever the blocks are fine-grained enough for the LPT
+  packer to balance them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.shard.partition import (
+    connected_components,
+    pack_components,
+    plan_pair_shards,
+    split_component,
+    vertex_slices,
+)
+
+
+def _pairs_strategy(max_records: int = 24, max_pairs: int = 60):
+    """Random undirected candidate-pair sets over a small record universe."""
+    pair = st.tuples(
+        st.integers(0, max_records - 1), st.integers(0, max_records - 1)
+    ).filter(lambda ab: ab[0] != ab[1]).map(lambda ab: (min(ab), max(ab)))
+    return st.lists(pair, min_size=1, max_size=max_pairs, unique=True).map(sorted)
+
+
+def _component_of_pairs(pairs):
+    """pair -> frozenset of pairs in its connected component (reference)."""
+    records = sorted({r for pair in pairs for r in pair})
+    dense = {r: i for i, r in enumerate(records)}
+    components = connected_components(
+        len(records), [(dense[a], dense[b]) for a, b in pairs]
+    )
+    root_of = {}
+    for index, nodes in enumerate(components):
+        for node in nodes:
+            root_of[records[int(node)]] = index
+    by_component = {}
+    for pair in pairs:
+        by_component.setdefault(root_of[pair[0]], set()).add(pair)
+    return {
+        pair: frozenset(by_component[root_of[pair[0]]]) for pair in pairs
+    }
+
+
+class TestPlanProperties:
+    @given(pairs=_pairs_strategy(), num_shards=st.integers(1, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_disjoint_and_covering(self, pairs, num_shards):
+        plan = plan_pair_shards(pairs, num_shards)
+        seen = []
+        for shard in plan.shards:
+            seen.extend(shard.pairs)
+        assert len(seen) == len(set(seen)), "a pair landed in two shards"
+        assert sorted(seen) == sorted(pairs), "shards do not cover the pairs"
+
+    @given(
+        pairs=_pairs_strategy(),
+        num_shards=st.integers(1, 6),
+        max_pairs=st.one_of(st.none(), st.integers(1, 40)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_never_splits_small_components(self, pairs, num_shards, max_pairs):
+        """A component with <= max_pairs pairs stays within one shard."""
+        plan = plan_pair_shards(pairs, num_shards, max_pairs=max_pairs)
+        component_of = _component_of_pairs(pairs)
+        shard_of = {
+            pair: shard.shard_id
+            for shard in plan.shards
+            for pair in shard.pairs
+        }
+        for pair, component in component_of.items():
+            if max_pairs is not None and len(component) > max_pairs:
+                continue  # over the cap: the planner may split it
+            owners = {shard_of[member] for member in component}
+            assert len(owners) == 1, (
+                f"component of {pair} ({len(component)} pairs, cap "
+                f"{max_pairs}) split across shards {sorted(owners)}"
+            )
+
+    @given(pairs=_pairs_strategy(), num_shards=st.integers(1, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_balance_within_2x_when_blocks_are_fine(self, pairs, num_shards):
+        """With blocks capped near the ideal load, LPT lands within 2x.
+
+        Balance is only achievable when no single block exceeds the ideal
+        per-shard load, so the cap is set to ``ceil(pairs / shards)`` —
+        exactly what :class:`repro.shard.ShardedResolver` defaults to.
+        LPT's bound is ``mean + largest block <= ideal + ceil(ideal)``,
+        i.e. within ``2 * ideal + 1`` for integer loads.
+        """
+        cap = max(1, -(-len(pairs) // num_shards))  # ceil division
+        plan = plan_pair_shards(pairs, num_shards, max_pairs=cap)
+        counts = plan.pair_counts
+        assert counts, "plan lost every shard"
+        ideal = max(1.0, len(pairs) / num_shards)
+        assert max(counts) <= 2 * ideal + 1, (
+            f"heaviest shard {max(counts)} exceeds 2x ideal {ideal:.2f} "
+            f"(counts {counts})"
+        )
+        assert max(counts) <= cap + len(pairs) / num_shards + 1e-9
+
+    @given(
+        pairs=_pairs_strategy(),
+        num_shards=st.integers(1, 6),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weights_do_not_break_the_contract(self, pairs, num_shards, seed):
+        """Weak-edge weighting changes *where* cuts land, never coverage."""
+        rng = np.random.default_rng(seed)
+        weights = rng.random(len(pairs))
+        cap = max(1, len(pairs) // max(1, num_shards))
+        plan = plan_pair_shards(pairs, num_shards, weights=weights, max_pairs=cap)
+        seen = sorted(pair for shard in plan.shards for pair in shard.pairs)
+        assert seen == sorted(pairs)
+
+    @given(pairs=_pairs_strategy(), num_shards=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_is_deterministic(self, pairs, num_shards):
+        first = plan_pair_shards(pairs, num_shards)
+        second = plan_pair_shards(list(pairs), num_shards)
+        assert [s.pairs for s in first.shards] == [s.pairs for s in second.shards]
+
+
+class TestSplitComponent:
+    @given(
+        num_nodes=st.integers(2, 12),
+        extra=st.integers(0, 12),
+        max_pairs=st.integers(1, 20),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_blocks_partition_the_nodes(self, num_nodes, extra, max_pairs, seed):
+        rng = np.random.default_rng(seed)
+        # A random spanning tree plus extra edges: always one component.
+        edges = [
+            (int(rng.integers(0, node)), node) for node in range(1, num_nodes)
+        ]
+        for _ in range(extra):
+            a, b = rng.integers(0, num_nodes, size=2)
+            if a != b:
+                edges.append((int(min(a, b)), int(max(a, b))))
+        nodes = np.arange(num_nodes, dtype=np.int64)
+        weights = rng.random(len(edges))
+        blocks = split_component(nodes, edges, weights, max_pairs)
+        merged = sorted(int(n) for block in blocks for n in block)
+        assert merged == list(range(num_nodes))
+        if len(edges) <= max_pairs:
+            assert len(blocks) == 1, "small component must come back whole"
+
+    def test_cuts_weakest_edge(self):
+        # Path 0-1-2 with a weak middle edge and a 1-pair cap: the strong
+        # edge is granted, the weak one is cut.
+        nodes = np.arange(3, dtype=np.int64)
+        blocks = split_component(
+            nodes, [(0, 1), (1, 2)], [0.9, 0.1], max_pairs=1
+        )
+        as_sets = [set(map(int, block)) for block in blocks]
+        assert {0, 1} in as_sets and {2} in as_sets
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            split_component(np.arange(2), [(0, 1)], None, max_pairs=0)
+
+
+class TestPacking:
+    @given(
+        weights=st.lists(st.integers(0, 50), min_size=0, max_size=20),
+        num_bins=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_component_packed_once(self, weights, num_bins):
+        bins = pack_components(weights, num_bins)
+        packed = sorted(index for bin_ in bins for index in bin_)
+        assert packed == list(range(len(weights)))
+        assert len(bins) <= num_bins
+
+    @given(
+        weights=st.lists(st.integers(1, 50), min_size=1, max_size=20),
+        num_bins=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lpt_within_4_3_plus_largest(self, weights, num_bins):
+        """LPT's makespan bound: max load <= mean + largest item."""
+        bins = pack_components(weights, num_bins)
+        loads = [sum(weights[i] for i in bin_) for bin_ in bins]
+        assert max(loads) <= sum(weights) / num_bins + max(weights) + 1e-9
+
+
+class TestVertexSlices:
+    @given(num_vertices=st.integers(0, 200), num_slices=st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_slices_tile_the_range(self, num_vertices, num_slices):
+        slices = vertex_slices(num_vertices, num_slices)
+        covered = []
+        for lo, hi in slices:
+            assert lo < hi, "empty slices must be dropped"
+            covered.extend(range(lo, hi))
+        assert covered == list(range(num_vertices))
+        if num_vertices:
+            sizes = [hi - lo for lo, hi in slices]
+            assert max(sizes) - min(sizes) <= 1, "slices must be balanced"

@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.data import Table
 from repro.exceptions import ConfigurationError
-from repro.similarity import similar_pairs, similar_pairs_edit, top_k_pairs
+from repro.similarity import (
+    similar_pairs,
+    similar_pairs_edit,
+    similar_pairs_range,
+    top_k_pairs,
+)
 
 WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
 ROW = st.lists(st.sampled_from(WORDS), min_size=1, max_size=4).map(" ".join)
@@ -58,6 +63,79 @@ class TestSimilarPairs:
             assert similar_pairs(small_table, threshold, method="naive") == similar_pairs(
                 small_table, threshold, method="prefix"
             )
+
+
+class TestSimilarPairsRange:
+    """The range-restricted join that powers the sharded parallel join.
+
+    Contract: pair ``(a, b)`` is owned by its higher record id ``b``, so
+    the union of ``similar_pairs_range`` over any disjoint covering tiling
+    of ``[0, n)`` equals ``similar_pairs`` pair for pair.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(ROW, min_size=2, max_size=25),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=1, max_value=5),
+        st.sampled_from(["naive", "prefix"]),
+    )
+    def test_tiling_reproduces_full_join(self, rows, threshold, slices, method):
+        from repro.shard import vertex_slices
+
+        table = make_table(rows)
+        reference = similar_pairs(table, threshold, method=method)
+        union = []
+        for lo, hi in vertex_slices(len(table), slices):
+            union.extend(
+                similar_pairs_range(table, threshold, lo, hi, method=method)
+            )
+        assert sorted(union) == reference
+        assert len(union) == len(set(union)), "tiles must be disjoint"
+
+    def test_uneven_tiling_and_qgram_tokens(self, small_table):
+        n = len(small_table)
+        cuts = [0, 1, n // 3, n // 2, n]  # deliberately lopsided tiling
+        for tokens in ("word", "qgram"):
+            reference = similar_pairs(
+                small_table, 0.3, tokens=tokens, method="prefix"
+            )
+            union = []
+            for lo, hi in zip(cuts, cuts[1:]):
+                union.extend(
+                    similar_pairs_range(
+                        small_table, 0.3, lo, hi, tokens=tokens, method="prefix"
+                    )
+                )
+            assert sorted(union) == reference
+
+    def test_range_owns_pairs_by_higher_id(self, small_table):
+        lo, hi = 10, 20
+        pairs = similar_pairs_range(small_table, 0.3, lo, hi, method="naive")
+        assert all(lo <= j < hi and i < j for i, j in pairs)
+
+    def test_empty_range_and_validation(self, small_table):
+        assert similar_pairs_range(small_table, 0.3, 5, 5) == []
+        with pytest.raises(ConfigurationError):
+            similar_pairs_range(small_table, 0.3, 3, 2)
+        with pytest.raises(ConfigurationError):
+            similar_pairs_range(small_table, 0.3, 0, len(small_table) + 1)
+        with pytest.raises(ConfigurationError):
+            similar_pairs_range(small_table, 0.0, 0, 1)
+        with pytest.raises(ConfigurationError):
+            similar_pairs_range(small_table, 0.3, 0, 1, method="sparse")
+        with pytest.raises(ConfigurationError):
+            similar_pairs_range(small_table, 0.3, 0, 1, method="magic")
+        with pytest.raises(ConfigurationError):
+            similar_pairs_range(small_table, 0.3, 0, 1, tokens="byte")
+
+    def test_auto_resolves_by_table_size(self, small_table):
+        # small_table is far below the crossover: auto must equal naive.
+        assert similar_pairs_range(
+            small_table, 0.3, 0, len(small_table), method="auto"
+        ) == similar_pairs_range(
+            small_table, 0.3, 0, len(small_table), method="naive"
+        )
 
 
 class TestTopKPairs:
