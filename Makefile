@@ -1,6 +1,6 @@
 # Convenience targets for the power-er reproduction.
 #
-#   make check        - the default gate: tests + engine smoke + verify + lint
+#   make check        - the default gate: tests + smokes + verify + lint
 #   make test         - tier-1 test suite
 #   make engine-smoke - <60s deterministic fault-injection run asserting
 #                       crash-resume converges to the straight-through run
@@ -22,6 +22,12 @@
 #   make bench-shard  - shard-scaling benchmark: speedup curve + measured
 #                       Amdahl fraction; enforces the 2.5x @ 4 workers floor
 #                       and refreshes benchmarks/results/BENCH_shard.json
+#   make bench-selection - selection-loop benchmark: incremental path-cover
+#                       engine vs per-round scratch (byte-identical
+#                       transcripts); enforces the 3x floor and refreshes
+#                       benchmarks/results/BENCH_selection.json
+#   make bench-selection-smoke - <60s smoke of the same; the gate only
+#                       requires the incremental engine to win (>= 1.0x)
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -29,9 +35,9 @@ export PYTHONPATH := src
 # Minimum acceptable line coverage (percent) for `make coverage`.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: check test engine-smoke shard-smoke verify lint coverage bench-smoke bench-perf bench-shard
+.PHONY: check test engine-smoke shard-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke
 
-check: test engine-smoke shard-smoke verify coverage lint
+check: test engine-smoke shard-smoke bench-selection-smoke verify coverage lint
 
 test:
 	$(PYTHON) -m pytest -q
@@ -74,3 +80,9 @@ bench-perf:
 
 bench-shard:
 	$(PYTHON) benchmarks/bench_shard_scaling.py --check
+
+bench-selection:
+	$(PYTHON) benchmarks/bench_selection_loop.py --check
+
+bench-selection-smoke:
+	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_selection_loop.py --check

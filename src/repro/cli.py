@@ -371,6 +371,17 @@ def _command_simulate(args) -> int:
     print(f"fault profile  : {profile.name}")
     print(f"questions      : {row.questions}")
     print(f"iterations     : {row.iterations}")
+    selection = row.extras.get("selection")
+    if selection:
+        print(f"selection      : rounds {selection['rounds']}  "
+              f"cover {selection['cover_seconds']:.3f}s  "
+              f"propagate {selection['propagate_seconds']:.3f}s  "
+              f"incremental {'on' if selection['incremental'] else 'off'}")
+        engine_stats = selection.get("engine")
+        if engine_stats:
+            print(f"path-cover     : covers {engine_stats['covers']}  "
+                  f"scratch builds {engine_stats['scratch_builds']}  "
+                  f"deleted vertices {engine_stats['deleted_vertices']}")
     print(f"F1             : {row.f_measure:.3f}")
     print(f"billed         : {row.cost_cents / 100:.2f} USD")
     print(f"total spent    : {telemetry.total_spent_cents / 100:.2f} USD "

@@ -31,6 +31,16 @@ class PowerConfig:
             (:func:`repro.similarity.batch.batch_similarity_matrix`; default)
             instead of the scalar reference.  Both produce bit-identical
             vectors; the knob exists for A/B verification and debugging.
+        use_incremental_selection: run the selection loop through the
+            incremental engine (warm-started path covers + packed-bitset
+            propagation; default) instead of the per-round scratch
+            reference.  Both produce byte-identical resolutions — same
+            questions, same order, same coloring; the knob exists for A/B
+            verification and debugging.
+        reachability_index: size gate for the packed reachability index —
+            ``"auto"`` (default byte budget), ``"off"`` (never build one;
+            implies the scratch selection path), or a positive int byte
+            budget.
         epsilon: grouping threshold; ``None`` disables grouping (§4.2's
             default in the experiments is 0.1).
         grouping_algorithm: ``"split"`` (Algorithm 2) or ``"greedy"``
@@ -62,6 +72,8 @@ class PowerConfig:
     join_method: str = "auto"
     join_tokens: str = "word"
     use_batch_similarity: bool = True
+    use_incremental_selection: bool = True
+    reachability_index: str | int = "auto"
     epsilon: float | None = 0.1
     grouping_algorithm: str = "split"
     selector: str = "power"
@@ -90,6 +102,19 @@ class PowerConfig:
             raise ConfigurationError(
                 f"join_tokens must be 'word' or 'qgram', got {self.join_tokens!r}"
             )
+        if isinstance(self.reachability_index, str):
+            if self.reachability_index not in ("auto", "off"):
+                raise ConfigurationError(
+                    "reachability_index must be 'auto', 'off', or a positive "
+                    f"byte budget, got {self.reachability_index!r}"
+                )
+        elif not isinstance(self.reachability_index, int) or (
+            self.reachability_index < 1
+        ):
+            raise ConfigurationError(
+                "reachability_index must be 'auto', 'off', or a positive "
+                f"byte budget, got {self.reachability_index!r}"
+            )
         if self.epsilon is not None and self.epsilon < 0:
             raise ConfigurationError(f"epsilon must be >= 0, got {self.epsilon}")
         if self.assignments < 1:
@@ -108,6 +133,18 @@ class PowerConfig:
             raise ConfigurationError(
                 f"shard_retries must be >= 0, got {self.shard_retries}"
             )
+
+    def reachability_limit_bytes(self) -> int | None:
+        """Byte budget for the reachability index (None = module default).
+
+        ``"off"`` maps to 0 bytes, so no graph ever fits and the selection
+        loop stays on the scratch reference paths.
+        """
+        if self.reachability_index == "auto":
+            return None
+        if self.reachability_index == "off":
+            return 0
+        return int(self.reachability_index)
 
     def error_policy(self) -> ErrorPolicy | None:
         """The Power+ policy object, or None when running plain Power."""

@@ -173,7 +173,10 @@ class PowerResolver:
                 f"unknown selector {self.config.selector!r}; known: {known}"
             ) from None
         return selector_class(
-            error_policy=self.config.error_policy(), seed=self.config.seed
+            error_policy=self.config.error_policy(),
+            seed=self.config.seed,
+            incremental=self.config.use_incremental_selection,
+            reachability_bytes=self.config.reachability_limit_bytes(),
         )
 
     def simulated_crowd(

@@ -50,6 +50,16 @@ from .runner import fast_mode
 VECTORIZE_SPEEDUP_FLOOR = 5.0
 CONSTRUCT_SPEEDUP_FLOOR = 3.0
 
+#: Acceptance floor of the selection-loop benchmark: the incremental engine
+#: (warm-started path covers + packed propagation) must beat the per-round
+#: scratch reference by this factor on the ACMPub-scale workload.
+SELECTION_SPEEDUP_FLOOR = 3.0
+
+#: Vertex cap for the selection-loop benchmark (the scratch reference
+#: rebuilds Python adjacency lists every round, so this bounds full-run
+#: wall time; the incremental engine itself scales far beyond it).
+DEFAULT_SELECTION_VERTICES = 2500
+
 #: Vertex cap for the construct stage: the most-similar pairs are kept so the
 #: per-vertex reference loop stays tractable while the workload remains
 #: representative.  (The blocked kernel itself handles far larger graphs.)
@@ -305,6 +315,232 @@ def summary_rows(report: dict) -> list[list]:
             "yes" if stage["equivalent"] else "NO",
         ]
         for stage in report["stages"]
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Selection-loop benchmark (incremental engine vs per-round scratch)
+# --------------------------------------------------------------------------- #
+
+
+def _selection_workload(
+    dataset: str, scale: float | None, max_vertices: int
+) -> tuple[object, list, np.ndarray]:
+    """(table, pairs, vectors) for the selection bench, capped by similarity."""
+    table, threshold = _bench_table(dataset, scale)
+    pairs = similar_pairs(table, threshold, method="sparse")
+    config = SimilarityConfig.uniform(table.num_attributes, function="bigram")
+    vectors = batch_similarity_matrix(table, pairs, config)
+    if len(pairs) > max_vertices:
+        keep = np.argsort(-vectors.mean(axis=1), kind="stable")[:max_vertices]
+        keep.sort()
+        pairs = [pairs[int(i)] for i in keep]
+        vectors = vectors[keep]
+    return table, pairs, vectors
+
+
+def _timed_selection_run(
+    selector_name: str,
+    pairs: list,
+    vectors: np.ndarray,
+    truth: dict,
+    seed: int,
+    incremental: bool,
+    repeats: int,
+):
+    """Best-of-*repeats* wall time of one full selector run.
+
+    A fresh graph is built per repeat (so the incremental side pays its
+    reachability-index build inside the measured wall every time), but the
+    adjacency lists — a cost shared by both sides — are prebuilt outside
+    the timer.
+    """
+    from ..crowd.platform import PerfectCrowd
+    from ..graph.dag import PairGraph
+    from ..selection import SELECTORS
+
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        graph = PairGraph(pairs, vectors)
+        adjacency = graph.adjacency()
+        selector = SELECTORS[selector_name](seed=seed, incremental=incremental)
+        session = PerfectCrowd(truth).session()
+        start = time.perf_counter()
+        run = selector.run(graph, session)
+        elapsed = time.perf_counter() - start
+        del adjacency
+        if elapsed < best:
+            best = elapsed
+            result = run
+    return best, result
+
+
+def run_selection_benchmark(
+    dataset: str = "acmpub",
+    scale: float | None = None,
+    selectors: tuple[str, ...] = ("single-path", "multi-path"),
+    max_vertices: int | None = None,
+    repeats: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Time the selection loop, incremental engine vs per-round scratch.
+
+    Each selector runs the full ask/color loop twice on the same
+    ACMPub-scale dominance graph against a perfect crowd over a monotone
+    truth: once with the incremental engine (reachability index +
+    warm-started path covers) and once forced onto the scratch reference
+    paths.  Equivalence is asserted inline — same vertices asked, in the
+    same order, same final coloring — so a fast-but-wrong engine fails the
+    bench rather than winning it.  The report also carries per-round phase
+    splits (cover / augment / propagate / bookkeeping) and a rounds-vs-n
+    scaling sweep of the incremental engine.
+
+    Returns:
+        The JSON-serializable report written to ``BENCH_selection.json``.
+    """
+    from ..verify.oracles import _pair_truth_from_vertices, monotone_truth
+
+    fast = fast_mode()
+    if repeats is None:
+        repeats = 1 if fast else 3
+    if max_vertices is None:
+        max_vertices = 300 if fast else DEFAULT_SELECTION_VERTICES
+
+    table, pairs, vectors = _selection_workload(dataset, scale, max_vertices)
+    truth = _pair_truth_from_vertices(pairs, monotone_truth(vectors))
+
+    selector_reports: list[dict] = []
+    for name in selectors:
+        ref_seconds, scratch = _timed_selection_run(
+            name, pairs, vectors, truth, seed, incremental=False, repeats=repeats
+        )
+        fast_seconds, incremental = _timed_selection_run(
+            name, pairs, vectors, truth, seed, incremental=True, repeats=repeats
+        )
+        equivalent = (
+            incremental.state.asked_order == scratch.state.asked_order
+            and np.array_equal(incremental.state.colors, scratch.state.colors)
+            and incremental.labels == scratch.labels
+        )
+        assert equivalent, (
+            f"{name}: incremental selection diverged from the scratch reference"
+        )
+        telemetry = incremental.extras.get("selection", {})
+        engine = telemetry.get("engine", {})
+        cover_seconds = float(telemetry.get("cover_seconds", 0.0))
+        propagate_seconds = float(telemetry.get("propagate_seconds", 0.0))
+        augment_seconds = float(engine.get("augment_seconds", 0.0))
+        bookkeeping = max(0.0, fast_seconds - cover_seconds - propagate_seconds)
+        speedup = ref_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+        selector_reports.append(
+            {
+                "selector": name,
+                "reference": {
+                    "name": "scratch-cover",
+                    "seconds": round(ref_seconds, 6),
+                },
+                "fast": {
+                    "name": "incremental-cover",
+                    "seconds": round(fast_seconds, 6),
+                },
+                "speedup": round(speedup, 3),
+                "equivalent": bool(equivalent),
+                "rounds": int(telemetry.get("rounds", 0)),
+                "questions": int(incremental.questions),
+                "splits": {
+                    "cover_seconds": round(cover_seconds, 6),
+                    "augment_seconds": round(augment_seconds, 6),
+                    "propagate_seconds": round(propagate_seconds, 6),
+                    "bookkeeping_seconds": round(bookkeeping, 6),
+                },
+                "engine": {
+                    key: (round(value, 6) if isinstance(value, float) else value)
+                    for key, value in engine.items()
+                },
+            }
+        )
+
+    # Rounds-vs-n scaling of the incremental engine (single-path).
+    scaling: list[dict] = []
+    fractions = (0.5, 1.0) if fast else (0.25, 0.5, 1.0)
+    for fraction in fractions:
+        size = max(2, int(round(len(pairs) * fraction)))
+        sub_pairs = pairs[:size]
+        sub_vectors = vectors[:size]
+        sub_truth = _pair_truth_from_vertices(
+            sub_pairs, monotone_truth(sub_vectors)
+        )
+        scratch_seconds, _ = _timed_selection_run(
+            "single-path", sub_pairs, sub_vectors, sub_truth, seed,
+            incremental=False, repeats=1,
+        )
+        incr_seconds, run = _timed_selection_run(
+            "single-path", sub_pairs, sub_vectors, sub_truth, seed,
+            incremental=True, repeats=1,
+        )
+        telemetry = run.extras.get("selection", {})
+        scaling.append(
+            {
+                "vertices": size,
+                "rounds": int(telemetry.get("rounds", 0)),
+                "scratch_seconds": round(scratch_seconds, 6),
+                "incremental_seconds": round(incr_seconds, 6),
+                "speedup": round(
+                    scratch_seconds / incr_seconds if incr_seconds > 0 else float("inf"),
+                    3,
+                ),
+            }
+        )
+
+    return {
+        "benchmark": "selection",
+        "dataset": table.name,
+        "records": len(table),
+        "vertices": len(pairs),
+        "attributes": int(vectors.shape[1]),
+        "fast_mode": fast,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "selectors": selector_reports,
+        "scaling": scaling,
+        "floors": {"selection": 1.0 if fast else SELECTION_SPEEDUP_FLOOR},
+    }
+
+
+def selection_acceptance_failures(report: dict) -> list[str]:
+    """Violations of the selection bench's gates (equivalence + floor)."""
+    failures: list[str] = []
+    floor = report.get("floors", {}).get("selection")
+    for entry in report["selectors"]:
+        name = entry["selector"]
+        if not entry["equivalent"]:
+            failures.append(
+                f"{name}: incremental selection is not equivalent to the "
+                "scratch reference"
+            )
+        if floor is not None and entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x is below the "
+                f"{floor:.1f}x floor (incremental vs scratch cover)"
+            )
+    return failures
+
+
+def selection_summary_rows(report: dict) -> list[list]:
+    """Rows for a plain-text summary of a selection report (one per selector)."""
+    return [
+        [
+            entry["selector"],
+            entry["rounds"],
+            entry["reference"]["seconds"],
+            entry["fast"]["seconds"],
+            f"{entry['speedup']:.2f}x",
+            "yes" if entry["equivalent"] else "NO",
+        ]
+        for entry in report["selectors"]
     ]
 
 

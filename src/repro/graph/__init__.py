@@ -29,6 +29,7 @@ from .grouping import (
     validate_grouping,
 )
 from .matching import (
+    IncrementalPathCover,
     greedy_path_cover,
     hopcroft_karp,
     minimum_path_cover,
@@ -44,13 +45,23 @@ from .partial_order import (
 )
 from .range_tree import RangeTree2D
 from .range_tree_nd import RangeTreeND, index_edges_nd
+from .reachability import (
+    DEFAULT_REACHABILITY_BYTES,
+    ReachabilityIndex,
+    lowest_set_bit,
+    pack_mask,
+    unpack_mask,
+)
 from .topo import middle_layer, topological_layers
 
 __all__ = [
     "CONSTRUCTION_ALGORITHMS",
     "CascadingRangeTree2D",
+    "DEFAULT_REACHABILITY_BYTES",
+    "IncrementalPathCover",
     "OrderStatistics",
     "RangeTreeND",
+    "ReachabilityIndex",
     "count_order_violations",
     "index_edges_nd",
     "order_statistics",
@@ -76,14 +87,17 @@ __all__ = [
     "incomparable_mask",
     "index_edges",
     "is_group",
+    "lowest_set_bit",
     "maximal_groups",
     "middle_layer",
     "minimum_path_cover",
+    "pack_mask",
     "quicksort_edges",
     "restricted_adjacency",
     "split_grouping",
     "strictly_dominates",
     "topological_layers",
+    "unpack_mask",
     "validate_grouping",
     "vectorized_edges",
 ]

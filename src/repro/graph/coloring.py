@@ -73,11 +73,23 @@ class ColoringState:
         self._pinned[vertex] = True
         if not propagate:
             return
+        # A built reachability index serves the same masks as one packed-row
+        # fetch (byte-identical to the float broadcasts; verified by the
+        # battery's incremental differentials).
+        index = self.graph.reachability
         if answer:
-            targets = self.graph.ancestor_mask(vertex)
+            targets = (
+                index.ancestor_mask(vertex)
+                if index is not None
+                else self.graph.ancestor_mask(vertex)
+            )
             self._green_votes[targets] += 1
         else:
-            targets = self.graph.descendant_mask(vertex)
+            targets = (
+                index.descendant_mask(vertex)
+                if index is not None
+                else self.graph.descendant_mask(vertex)
+            )
             self._red_votes[targets] += 1
         self._refresh(targets)
 

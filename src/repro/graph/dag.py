@@ -38,6 +38,7 @@ class OrderedGraph(ABC):
     def __init__(self, num_vertices: int) -> None:
         self._num_vertices = num_vertices
         self._adjacency: list[np.ndarray] | None = None
+        self._reachability = None
 
     def __len__(self) -> int:
         return self._num_vertices
@@ -107,6 +108,39 @@ class OrderedGraph(ABC):
         return self._adjacency
 
     @property
+    def reachability(self):
+        """The cached :class:`~repro.graph.reachability.ReachabilityIndex`.
+
+        ``None`` until :meth:`build_reachability` has run (and succeeded);
+        consumers treat ``None`` as "use the reference mask broadcasts".
+        """
+        return self._reachability
+
+    def build_reachability(self, max_bytes: int | None = None):
+        """Build (once) and cache the packed-bitset reachability index.
+
+        Args:
+            max_bytes: byte budget for the index; ``None`` uses
+                :data:`~repro.graph.reachability.DEFAULT_REACHABILITY_BYTES`.
+
+        Returns:
+            The index, or ``None`` when this graph does not expose dominance
+            operands (the naive oracle twins stay on their pure reference
+            paths) or the index would exceed the budget.
+        """
+        if self._reachability is not None:
+            return self._reachability
+        if self._dominance_operands() is None:
+            return None
+        from .reachability import DEFAULT_REACHABILITY_BYTES, ReachabilityIndex
+
+        limit = DEFAULT_REACHABILITY_BYTES if max_bytes is None else max_bytes
+        if ReachabilityIndex.estimated_bytes(self._num_vertices) > limit:
+            return None
+        self._reachability = ReachabilityIndex.build(self)
+        return self._reachability
+
+    @property
     def num_edges(self) -> int:
         """Number of dominance edges (full relation)."""
         return sum(len(children) for children in self.adjacency())
@@ -143,6 +177,7 @@ class PairGraph(OrderedGraph):
         super().__init__(num_vertices=len(pairs))
         self.pairs = list(pairs)
         self.vectors = vectors
+        self._pair_index: dict[Pair, int] | None = None
 
     @property
     def num_attributes(self) -> int:
@@ -172,8 +207,17 @@ class PairGraph(OrderedGraph):
         return self.pairs[vertex]
 
     def vertex_of_pair(self, pair: Pair) -> int:
-        """Index of the vertex holding *pair* (linear scan; test helper)."""
+        """Index of the vertex holding *pair* (lazily-built dict lookup).
+
+        Keeps the first occurrence on duplicate pairs, matching the linear
+        ``list.index`` scan it replaces.
+        """
+        if self._pair_index is None:
+            index: dict[Pair, int] = {}
+            for vertex, known in enumerate(self.pairs):
+                index.setdefault(known, vertex)
+            self._pair_index = index
         try:
-            return self.pairs.index(pair)
-        except ValueError:
+            return self._pair_index[pair]
+        except KeyError:
             raise GraphError(f"pair {pair} is not a vertex of this graph") from None

@@ -10,6 +10,16 @@ order between groups is decided from the per-attribute bounds: with
 — the sufficient condition the paper proves, which makes group dominance
 checkable in O(m) from the bounds alone.  Asking a group asks one randomly
 chosen member pair, and the group's color applies to all members (§4.2).
+
+Group dominance is transitive: ``g_i > g_j > g_k`` gives
+``l_i >= u_j >= l_j >= u_k`` per attribute (bounds satisfy ``l <= u``
+within a group) with strictness carried through, so ``g_i > g_k``.  That is
+exactly the property the incremental selection machinery relies on — a
+vertex's adjacency row already being its full descendant set — which is why
+a :class:`GroupedGraph` reuses the same packed
+:class:`~repro.graph.reachability.ReachabilityIndex` and warm-start
+:class:`~repro.graph.matching.IncrementalPathCover` fast paths as the
+non-grouped graph, with no special casing.
 """
 
 from __future__ import annotations

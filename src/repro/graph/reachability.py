@@ -1,0 +1,186 @@
+"""Packed-bitset reachability index over the dominance relation.
+
+Because strict dominance is transitive, a vertex's adjacency row *is* its
+full descendant set — so the whole reachability structure of the DAG fits
+in two bit-matrices of ``n x ceil(n/8)`` bytes (descendants row-wise, and
+their transpose for ancestors).  A :class:`ReachabilityIndex` packs both
+with :func:`numpy.packbits` (``bitorder="little"``: bit ``j`` of byte ``i``
+is vertex ``8 i + j``), which turns the hot per-answer / per-round
+operations of the selection loop into word-parallel byte ops:
+
+* color propagation (``ColoringState.apply_answer``) fetches one row and
+  unpacks it instead of re-broadcasting an ``O(n m)`` float comparison;
+* the incremental path-cover engine
+  (:class:`repro.graph.matching.IncrementalPathCover`) restricts adjacency
+  to the active sub-DAG with a single ``AND`` against the packed active
+  mask instead of rebuilding Python adjacency lists every round.
+
+The index is built once per graph, from the cached blocked-kernel
+adjacency, and only for graphs that expose their dominance operands
+(``_dominance_operands() is not None``) — the naive oracle twins in
+:mod:`repro.verify.oracles` never get one, so differential checks keep
+exercising the pure reference paths.  A byte-size gate
+(:data:`DEFAULT_REACHABILITY_BYTES`, overridable through the
+``reachability_index`` config knob) keeps huge graphs on the mask-broadcast
+path instead of materialising a quadratic index.
+
+Unpacked rows are byte-identical to the float-broadcast masks
+(``graph.ancestor_mask`` / ``graph.descendant_mask``); the verify battery
+and ``tests/test_graph_reachability.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+#: Default byte budget for one index (both matrices together).  256 MiB
+#: admits graphs of roughly 30k vertices; beyond that the selection loop
+#: falls back to the reference mask-broadcast path.
+DEFAULT_REACHABILITY_BYTES = 256 * 1024 * 1024
+
+#: Row-block size used while packing (bounds the dense boolean temp).
+_BUILD_BLOCK = 1024
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into little-endian bit-order bytes."""
+    return np.packbits(np.ascontiguousarray(mask, dtype=bool), bitorder="little")
+
+
+def unpack_mask(bits: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_mask`: the first *num_bits* as a bool array."""
+    return np.unpackbits(bits, count=num_bits, bitorder="little").view(bool)
+
+
+def lowest_set_bit(bits: np.ndarray) -> int:
+    """Index of the lowest set bit of a packed vector, or -1 when empty."""
+    if not bits.any():
+        return -1
+    byte_index = int(np.argmax(bits != 0))
+    byte = int(bits[byte_index])
+    return byte_index * 8 + ((byte & -byte).bit_length() - 1)
+
+
+def _pack_rows(row_targets: list[np.ndarray], n: int) -> np.ndarray:
+    """Pack per-vertex target index lists into an (n, ceil(n/8)) bit-matrix."""
+    width = (n + 7) // 8
+    packed = np.empty((n, width), dtype=np.uint8)
+    block = np.zeros((min(_BUILD_BLOCK, max(n, 1)), n), dtype=bool)
+    for start in range(0, n, _BUILD_BLOCK):
+        stop = min(start + _BUILD_BLOCK, n)
+        rows = block[: stop - start]
+        rows[:] = False
+        lengths = np.fromiter(
+            (len(row_targets[vertex]) for vertex in range(start, stop)),
+            count=stop - start,
+            dtype=np.int64,
+        )
+        total = int(lengths.sum())
+        if total:
+            columns = np.concatenate(
+                [np.asarray(row_targets[v], dtype=np.int64) for v in range(start, stop)]
+            )
+            rows[np.repeat(np.arange(stop - start), lengths), columns] = True
+        packed[start:stop] = np.packbits(rows, axis=1, bitorder="little")
+    return packed
+
+
+def _transpose_bits(bits: np.ndarray, n: int) -> np.ndarray:
+    """Transpose an (n, ceil(n/8)) packed bit-matrix, block of rows at a time.
+
+    ``_BUILD_BLOCK`` is a multiple of 8, so each output row-block maps to a
+    byte-aligned column slice of the input — unpack, transpose, repack, all
+    in C.
+    """
+    width = (n + 7) // 8
+    out = np.empty((n, width), dtype=np.uint8)
+    for start in range(0, n, _BUILD_BLOCK):
+        stop = min(start + _BUILD_BLOCK, n)
+        sub = np.unpackbits(
+            bits[:, start >> 3 : (stop + 7) >> 3], axis=1, bitorder="little"
+        )[:, : stop - start]
+        out[start:stop] = np.packbits(
+            np.ascontiguousarray(sub.T), axis=1, bitorder="little"
+        )
+    return out
+
+
+class ReachabilityIndex:
+    """Packed ancestor/descendant bit-matrices of an ordered graph.
+
+    Attributes:
+        num_vertices: vertex count ``n``.
+        width: bytes per packed row, ``ceil(n / 8)``.
+    """
+
+    def __init__(
+        self,
+        descendant_bits: np.ndarray,
+        ancestor_bits: np.ndarray,
+        num_vertices: int,
+    ) -> None:
+        self._desc = descendant_bits
+        self._anc = ancestor_bits
+        self.num_vertices = num_vertices
+        self.width = (num_vertices + 7) // 8
+
+    @staticmethod
+    def estimated_bytes(num_vertices: int) -> int:
+        """Bytes the two packed matrices would occupy for *num_vertices*."""
+        return 2 * num_vertices * ((num_vertices + 7) // 8)
+
+    @classmethod
+    def build(cls, graph) -> "ReachabilityIndex":
+        """Build the index from a graph's (cached) adjacency lists.
+
+        The ancestor matrix is the bit-transpose of the descendant matrix
+        (``u`` dominates ``v`` iff ``v`` is dominated by ``u``), computed
+        block-wise in packed form.
+        """
+        adjacency = graph.adjacency()
+        n = len(graph)
+        desc = _pack_rows(adjacency, n)
+        anc = _transpose_bits(desc, n)
+        return cls(desc, anc, n)
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+
+    def _check(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise GraphError(
+                f"vertex {vertex} out of range [0, {self.num_vertices})"
+            )
+
+    def descendant_row(self, vertex: int) -> np.ndarray:
+        """Packed row of vertices strictly dominated by *vertex*."""
+        self._check(vertex)
+        return self._desc[vertex]
+
+    def ancestor_row(self, vertex: int) -> np.ndarray:
+        """Packed row of vertices strictly dominating *vertex*."""
+        self._check(vertex)
+        return self._anc[vertex]
+
+    def descendant_mask(self, vertex: int) -> np.ndarray:
+        """Boolean descendant mask, byte-identical to the graph's own."""
+        return unpack_mask(self.descendant_row(vertex), self.num_vertices)
+
+    def ancestor_mask(self, vertex: int) -> np.ndarray:
+        """Boolean ancestor mask, byte-identical to the graph's own."""
+        return unpack_mask(self.ancestor_row(vertex), self.num_vertices)
+
+    def nbytes(self) -> int:
+        return int(self._desc.nbytes + self._anc.nbytes)
+
+
+__all__ = [
+    "DEFAULT_REACHABILITY_BYTES",
+    "ReachabilityIndex",
+    "lowest_set_bit",
+    "pack_mask",
+    "unpack_mask",
+]

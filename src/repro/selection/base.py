@@ -72,13 +72,31 @@ class QuestionSelector(ABC):
             after the loop.
         seed: seed for tie-breaking randomness (representative pairs,
             random selection).
+        incremental: when True (default), ``run`` builds the graph's
+            packed-bitset reachability index up front, switching color
+            propagation — and, for the path-cover selectors, the per-round
+            decomposition — onto the incremental fast paths.  The fast
+            paths are byte-identical to the reference (same questions, same
+            order, same coloring); False forces the reference paths.
+        reachability_bytes: byte budget for the reachability index (None =
+            the module default); graphs over budget stay on the reference
+            paths even with ``incremental=True``.
     """
 
     name: str = "selector"
 
-    def __init__(self, error_policy: ErrorPolicy | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        error_policy: ErrorPolicy | None = None,
+        seed: int = 0,
+        incremental: bool = True,
+        reachability_bytes: int | None = None,
+    ) -> None:
         self.error_policy = error_policy
         self.seed = seed
+        self.incremental = incremental
+        self.reachability_bytes = reachability_bytes
+        self._propagate_seconds = 0.0
 
     @abstractmethod
     def select(
@@ -88,6 +106,10 @@ class QuestionSelector(ABC):
 
     def reset(self) -> None:
         """Clear any per-run internal state; called at the top of ``run``."""
+
+    def _selection_stats(self) -> dict | None:
+        """Per-run engine counters for telemetry (selector-specific)."""
+        return None
 
     def run(
         self,
@@ -109,9 +131,13 @@ class QuestionSelector(ABC):
         if budget is not None and budget < 0:
             raise SelectionError(f"budget must be >= 0, got {budget}")
         self.reset()
+        self._propagate_seconds = 0.0
+        if self.incremental:
+            graph.build_reachability(self.reachability_bytes)
         rng = np.random.default_rng(self.seed)
         state = ColoringState(graph)
         assignment_time = 0.0
+        rounds = 0
         guard = 0
         while not state.is_complete():
             remaining = (
@@ -136,6 +162,7 @@ class QuestionSelector(ABC):
             if remaining is not None:
                 vertices = vertices[:remaining]
             self._ask(graph, state, session, vertices, rng)
+            rounds += 1
         labels = state.pair_labels()
         fallback_policy = self.error_policy or ErrorPolicy()
         if self.error_policy is not None:
@@ -145,6 +172,15 @@ class QuestionSelector(ABC):
             labels.update(
                 resolve_undecided_vertices(graph, state, uncolored, fallback_policy)
             )
+        telemetry = {
+            "cover_seconds": assignment_time,
+            "propagate_seconds": self._propagate_seconds,
+            "rounds": rounds,
+            "incremental": self.incremental and graph.reachability is not None,
+        }
+        engine_stats = self._selection_stats()
+        if engine_stats is not None:
+            telemetry["engine"] = engine_stats
         return SelectionResult(
             name=self.name,
             labels=labels,
@@ -153,6 +189,7 @@ class QuestionSelector(ABC):
             assignment_time=assignment_time,
             state=state,
             cost_cents=session.cost_cents,
+            extras={"selection": telemetry},
         )
 
     def _ask(
@@ -171,9 +208,11 @@ class QuestionSelector(ABC):
         threshold = (
             self.error_policy.confidence_threshold if self.error_policy else None
         )
+        started = time.perf_counter()
         for vertex, pair in questions.items():
             outcome = answers[pair]
             if threshold is not None and outcome.confidence < threshold:
                 state.mark_blue(vertex)
             else:
                 state.apply_answer(vertex, outcome.answer)
+        self._propagate_seconds += time.perf_counter() - started

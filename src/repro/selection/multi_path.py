@@ -12,8 +12,9 @@ import numpy as np
 
 from ..graph.coloring import ColoringState
 from ..graph.dag import OrderedGraph
-from ..graph.matching import minimum_path_cover, restricted_adjacency
+from ..graph.matching import IncrementalPathCover
 from .base import QuestionSelector
+from .single_path import cover_paths
 
 
 class MultiPathSelector(QuestionSelector):
@@ -21,11 +22,15 @@ class MultiPathSelector(QuestionSelector):
 
     name = "multi-path"
 
+    def reset(self) -> None:
+        self._engine: IncrementalPathCover | None = None
+
+    def _selection_stats(self) -> dict | None:
+        return dict(self._engine.stats) if self._engine is not None else None
+
     def select(
         self, graph: OrderedGraph, state: ColoringState, rng: np.random.Generator
     ) -> list[int]:
-        active = state.uncolored_mask()
-        sub_adjacency, original_ids = restricted_adjacency(graph.adjacency(), active)
-        paths = minimum_path_cover(sub_adjacency)
-        mids = {int(original_ids[path[len(path) // 2]]) for path in paths}
+        paths = cover_paths(self, graph, state.uncolored_mask())
+        mids = {path[len(path) // 2] for path in paths}
         return sorted(mids)

@@ -17,8 +17,35 @@ import numpy as np
 
 from ..graph.coloring import Color, ColoringState
 from ..graph.dag import OrderedGraph
-from ..graph.matching import greedy_path_cover, minimum_path_cover, restricted_adjacency
+from ..graph.matching import (
+    IncrementalPathCover,
+    greedy_path_cover,
+    minimum_path_cover,
+    restricted_adjacency,
+)
 from .base import QuestionSelector
+
+
+def cover_paths(
+    selector: QuestionSelector, graph: OrderedGraph, active
+) -> list[list[int]]:
+    """Minimum path cover of the active sub-DAG, in original vertex ids.
+
+    Routes through the selector's warm-started
+    :class:`~repro.graph.matching.IncrementalPathCover` when the graph has a
+    reachability index (byte-identical to the reference decomposition, just
+    without rebuilding the matching from scratch every round); otherwise
+    falls back to ``restricted_adjacency`` + ``minimum_path_cover``.
+    """
+    if selector.incremental and graph.reachability is not None:
+        if selector._engine is None or selector._engine.index is not graph.reachability:
+            selector._engine = IncrementalPathCover(
+                graph.reachability, graph.adjacency()
+            )
+        return selector._engine.cover(active)
+    sub_adjacency, original_ids = restricted_adjacency(graph.adjacency(), active)
+    paths = minimum_path_cover(sub_adjacency)
+    return [[int(original_ids[v]) for v in path] for path in paths]
 
 
 class SinglePathSelector(QuestionSelector):
@@ -32,8 +59,20 @@ class SinglePathSelector(QuestionSelector):
 
     name = "single-path"
 
-    def __init__(self, error_policy=None, seed: int = 0, cover: str = "matching") -> None:
-        super().__init__(error_policy=error_policy, seed=seed)
+    def __init__(
+        self,
+        error_policy=None,
+        seed: int = 0,
+        cover: str = "matching",
+        incremental: bool = True,
+        reachability_bytes: int | None = None,
+    ) -> None:
+        super().__init__(
+            error_policy=error_policy,
+            seed=seed,
+            incremental=incremental,
+            reachability_bytes=reachability_bytes,
+        )
         if cover not in ("matching", "greedy"):
             raise ValueError(f"cover must be 'matching' or 'greedy', got {cover!r}")
         self.cover = cover
@@ -42,17 +81,25 @@ class SinglePathSelector(QuestionSelector):
         self._path: list[int] | None = None
         self._lo = 0
         self._hi = -1
+        self._engine: IncrementalPathCover | None = None
+
+    def _selection_stats(self) -> dict | None:
+        return dict(self._engine.stats) if self._engine is not None else None
 
     def _recompute(self, graph: OrderedGraph, state: ColoringState) -> None:
         """Decompose the uncolored sub-DAG and adopt the longest path."""
         active = state.uncolored_mask()
-        sub_adjacency, original_ids = restricted_adjacency(graph.adjacency(), active)
         if self.cover == "matching":
-            paths = minimum_path_cover(sub_adjacency)
+            paths = cover_paths(self, graph, active)
+            longest = max(paths, key=len)
+            self._path = list(longest)
         else:
+            sub_adjacency, original_ids = restricted_adjacency(
+                graph.adjacency(), active
+            )
             paths = greedy_path_cover(sub_adjacency)
-        longest = max(paths, key=len)
-        self._path = [int(original_ids[v]) for v in longest]
+            longest = max(paths, key=len)
+            self._path = [int(original_ids[v]) for v in longest]
         self._lo = 0
         self._hi = len(self._path) - 1
 

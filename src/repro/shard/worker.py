@@ -444,7 +444,10 @@ def resolve_shard(task: IndependentShardTask) -> ShardOutcome:
     )
     session = crowd.session()
     selector = SELECTORS[config.selector](
-        error_policy=config.error_policy(), seed=task.seed
+        error_policy=config.error_policy(),
+        seed=task.seed,
+        incremental=config.use_incremental_selection,
+        reachability_bytes=config.reachability_limit_bytes(),
     )
     result = selector.run(graph, session, budget=task.budget)
     return ShardOutcome(

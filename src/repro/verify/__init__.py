@@ -52,6 +52,7 @@ from .oracles import (
     check_crowd_aggregation,
     check_dominance_construction,
     check_join_methods,
+    check_selection_incremental,
     check_selector_differential,
     check_selector_monotone_oracle,
     check_transitive_closure,
@@ -85,6 +86,7 @@ __all__ = [
     "check_partial_order",
     "check_path_cover",
     "check_permutation_invariance",
+    "check_selection_incremental",
     "check_selector_differential",
     "check_selector_monotone_oracle",
     "check_session_coherence",

@@ -165,6 +165,21 @@ def _synthetic_sweeps(config: BatteryConfig, report: VerificationReport) -> None
                     oracles.check_selector_monotone_oracle(n, p, v, seed=s)
                 ),
             )
+        for name in ("single-path", "multi-path", "power"):
+            run_check(
+                report,
+                f"selection-incremental[{name}, seed={seed}]",
+                lambda n=name, p=pairs, v=vectors, s=seed: (
+                    oracles.check_selection_incremental(n, p, v, seed=s)
+                ),
+            )
+        run_check(
+            report,
+            f"selection-incremental[power, grouped, seed={seed}]",
+            lambda p=pairs, v=vectors, s=seed: oracles.check_selection_incremental(
+                "power", p, v, seed=s, epsilon=config.epsilon
+            ),
+        )
         # Grouped and noisy variants (production selector only, cost control).
         run_check(
             report,
@@ -254,6 +269,15 @@ def _dataset_checks(config: BatteryConfig, report: VerificationReport) -> None:
         invariants.check_path_cover(graph)
 
     run_check(report, f"pipeline-graph[{table.name}]", pipeline_graph_invariants)
+
+    for name in ("single-path", "multi-path"):
+        run_check(
+            report,
+            f"selection-incremental[{name}, {table.name}]",
+            lambda n=name: oracles.check_selection_incremental(
+                n, pairs, vectors, seed=config.base_seed
+            ),
+        )
 
     def verified_resolution():
         crowd = resolver.simulated_crowd(table, pairs, worker_band="90")

@@ -17,6 +17,7 @@ mutant                  seeded bug
 ``billing-floor``       HIT count floors instead of ceiling
 ``weight-blind-votes``  weighted aggregation ignores worker accuracies
 ``shard-merge-drop``    the shard merge drops every slice's votes but one
+``stale-matching``      deleting a matched vertex leaves its partner claimed
 ======================  ====================================================
 
 Patching is done by rebinding module/class attributes inside a context
@@ -157,7 +158,7 @@ def _mutant_topo_layer_merge():
 def _mutant_overlapping_paths():
     """The "minimum" path cover repeats a vertex across two paths."""
     from ..graph import matching
-    from ..selection import multi_path, single_path
+    from ..selection import single_path
 
     original = matching.minimum_path_cover
 
@@ -167,10 +168,11 @@ def _mutant_overlapping_paths():
             paths[1] = [paths[0][0]] + paths[1]
         return paths
 
+    # single_path hosts the shared cover_paths fallback, so patching it
+    # covers both path selectors' scratch paths.
     return _patched(
         (matching, "minimum_path_cover", mutated),
         (single_path, "minimum_path_cover", mutated),
-        (multi_path, "minimum_path_cover", mutated),
     )
 
 
@@ -220,6 +222,37 @@ def _mutant_shard_merge_drop():
     )
 
 
+def _mutant_stale_matching():
+    """Deleting a matched left vertex leaves its right claimed by the ghost.
+
+    Models the classic incremental-index bug: a deletion handler that
+    updates one side of a bidirectional link.  The warm-started greedy
+    matching then under-matches (rights stay claimed by dead vertices), the
+    path cover drifts from the scratch reference, and the selection
+    transcript diverges — which ``check_selection_incremental`` must notice.
+    """
+    from ..graph.matching import IncrementalPathCover
+
+    def mutated(self, deleted):
+        restart = self._n
+        freed: list[int] = []
+        gl, gr = self._greedy_left, self._greedy_right
+        for w in deleted:
+            w = int(w)
+            r = int(gl[w])
+            if r != -1:
+                gl[w] = -1  # bug: gr[r] keeps pointing at the deleted vertex
+            u = int(gr[w])
+            if u != -1:
+                gr[w] = -1
+                gl[u] = -1
+                if self._active[u] and u < restart:
+                    restart = u
+        return restart, freed
+
+    return _patched((IncrementalPathCover, "_release_deleted", mutated))
+
+
 MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         "drop-dominance-edge",
@@ -260,6 +293,11 @@ MUTANTS: tuple[Mutant, ...] = (
         "shard-merge-drop",
         "the shard vote merge drops every slice's contribution but the first",
         _mutant_shard_merge_drop,
+    ),
+    Mutant(
+        "stale-matching",
+        "deleting a matched vertex leaves its matched partner claimed",
+        _mutant_stale_matching,
     ),
 )
 
@@ -316,6 +354,10 @@ def run_detection_battery(seed: int = 0) -> None:
     oracles.check_selector_differential("power", pairs, vectors, seed=seed)
     oracles.check_selector_differential("single-path", pairs, vectors, seed=seed)
     oracles.check_selector_monotone_oracle("power", pairs, vectors, seed=seed)
+
+    # Incremental selection engine vs the per-round scratch reference.
+    oracles.check_selection_incremental("single-path", pairs, vectors, seed=seed)
+    oracles.check_selection_incremental("multi-path", pairs, vectors, seed=seed)
 
     # Billing: 13 distinct questions at 5 pairs/HIT makes floor != ceil.
     truth = {pair: True for pair in pairs}

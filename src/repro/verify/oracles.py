@@ -509,11 +509,12 @@ def _run_selector(
     truth: dict[Pair, bool],
     seed: int,
     band: str | None = None,
+    incremental: bool = True,
 ) -> SelectionResult:
     if selector_name == "greedy-reference":
-        selector = GreedyReferenceSelector(seed=seed)
+        selector = GreedyReferenceSelector(seed=seed, incremental=incremental)
     else:
-        selector = SELECTORS[selector_name](seed=seed)
+        selector = SELECTORS[selector_name](seed=seed, incremental=incremental)
     if band is None:
         crowd: SimulatedCrowd = PerfectCrowd(truth)
     else:
@@ -586,6 +587,81 @@ def check_selector_differential(
         )
     if fast.state is not None:
         check_coloring_replay(production, fast.state)
+
+
+def check_selection_incremental(
+    selector_name: str,
+    pairs: Sequence[Pair],
+    vectors: np.ndarray,
+    seed: int,
+    epsilon: float | None = None,
+    band: str | None = None,
+) -> None:
+    """Incremental selection must be byte-identical to the scratch reference.
+
+    The same selector (same seed, same crowd construction) runs once with
+    the incremental engine (reachability index + warm-started path covers)
+    and once forced onto the per-round scratch paths, on *fresh* graph
+    instances so no index leaks across sides.  Questions asked — vertex for
+    vertex, in order — labels, counts, and the final coloring must all be
+    equal; any divergence means the warm-started matching or the packed
+    propagation masks drifted from the reference.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    truth = _pair_truth_from_vertices(pairs, monotone_truth(vectors))
+
+    def build() -> OrderedGraph:
+        base = PairGraph(pairs, vectors)
+        if epsilon is None:
+            return base
+        from ..graph.grouping import split_grouping
+
+        return GroupedGraph(base, split_grouping(vectors, epsilon))
+
+    fast = _run_selector(
+        selector_name, build(), truth, seed, band=band, incremental=True
+    )
+    slow = _run_selector(
+        selector_name, build(), truth, seed, band=band, incremental=False
+    )
+    label = f"selection-incremental[{selector_name}] seed={seed} epsilon={epsilon}"
+    if fast.state is not None and slow.state is not None:
+        if fast.state.asked_order != slow.state.asked_order:
+            length = min(len(fast.state.asked_order), len(slow.state.asked_order))
+            step = next(
+                (
+                    i
+                    for i in range(length)
+                    if fast.state.asked_order[i] != slow.state.asked_order[i]
+                ),
+                length,
+            )
+            raise VerificationError(
+                f"{label}: asked vertices diverge at step {step}: incremental "
+                f"{fast.state.asked_order[step : step + 3]} vs scratch "
+                f"{slow.state.asked_order[step : step + 3]}"
+            )
+        if not np.array_equal(fast.state.colors, slow.state.colors):
+            vertex = int(np.flatnonzero(fast.state.colors != slow.state.colors)[0])
+            raise VerificationError(
+                f"{label}: final colors diverge at vertex {vertex}"
+            )
+    if fast.labels != slow.labels:
+        diff = [
+            pair
+            for pair in set(fast.labels) | set(slow.labels)
+            if fast.labels.get(pair) != slow.labels.get(pair)
+        ][:5]
+        raise VerificationError(
+            f"{label}: labels diverge between incremental and scratch "
+            f"(e.g. {diff})"
+        )
+    if (fast.questions, fast.iterations) != (slow.questions, slow.iterations):
+        raise VerificationError(
+            f"{label}: question/iteration counts diverge: incremental "
+            f"({fast.questions}, {fast.iterations}) vs scratch "
+            f"({slow.questions}, {slow.iterations})"
+        )
 
 
 def check_selector_monotone_oracle(

@@ -1,0 +1,121 @@
+"""Tests for the packed-bitset reachability index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    Color,
+    ColoringState,
+    GroupedGraph,
+    PairGraph,
+    ReachabilityIndex,
+    lowest_set_bit,
+    pack_mask,
+    split_grouping,
+    unpack_mask,
+)
+from repro.verify.oracles import NaivePairGraph
+
+from conftest import random_vectors
+
+
+def make_graph(seed: int, n: int, m: int = 3) -> PairGraph:
+    vectors = random_vectors(seed, n, m)
+    pairs = [(2 * i, 2 * i + 1) for i in range(n)]
+    return PairGraph(pairs, vectors)
+
+
+class TestPackedBits:
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_pack_unpack_round_trip(self, bits):
+        mask = np.array(bits, dtype=bool)
+        assert np.array_equal(unpack_mask(pack_mask(mask), len(bits)), mask)
+
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_lowest_set_bit_matches_argmax(self, bits):
+        mask = np.array(bits, dtype=bool)
+        expected = int(np.argmax(mask)) if mask.any() else -1
+        assert lowest_set_bit(pack_mask(mask)) == expected
+
+    def test_lowest_set_bit_empty_vector(self):
+        assert lowest_set_bit(np.zeros(0, dtype=np.uint8)) == -1
+
+
+class TestIndexMasks:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 63, 64, 65, 200])
+    def test_masks_match_graph_broadcast(self, n):
+        """Unpacked index rows must be byte-identical to the graph's own
+        float-broadcast masks — including at byte-boundary sizes."""
+        graph = make_graph(seed=n, n=n)
+        index = graph.build_reachability()
+        assert index is not None
+        for v in range(n):
+            assert np.array_equal(index.descendant_mask(v), graph.descendant_mask(v))
+            assert np.array_equal(index.ancestor_mask(v), graph.ancestor_mask(v))
+
+    def test_grouped_graph_masks(self):
+        vectors = random_vectors(3, 60, 3)
+        pairs = [(2 * i, 2 * i + 1) for i in range(60)]
+        grouped = GroupedGraph(PairGraph(pairs, vectors), split_grouping(vectors, 0.1))
+        index = grouped.build_reachability()
+        assert index is not None
+        for v in range(len(grouped)):
+            assert np.array_equal(index.descendant_mask(v), grouped.descendant_mask(v))
+            assert np.array_equal(index.ancestor_mask(v), grouped.ancestor_mask(v))
+
+    def test_row_bounds_checked(self):
+        index = make_graph(seed=0, n=5).build_reachability()
+        with pytest.raises(GraphError):
+            index.descendant_row(5)
+        with pytest.raises(GraphError):
+            index.ancestor_row(-1)
+
+
+class TestGating:
+    def test_zero_budget_skips_index(self):
+        graph = make_graph(seed=1, n=10)
+        assert graph.build_reachability(max_bytes=0) is None
+        assert graph.reachability is None
+
+    def test_naive_graph_never_indexed(self):
+        """The oracle twins expose no dominance operands, so they stay on
+        the pure reference paths."""
+        vectors = random_vectors(2, 12, 3)
+        naive = NaivePairGraph([(2 * i, 2 * i + 1) for i in range(12)], vectors)
+        assert naive.build_reachability() is None
+
+    def test_index_built_once_and_cached(self):
+        graph = make_graph(seed=4, n=20)
+        first = graph.build_reachability()
+        assert first is graph.build_reachability()
+        assert first is graph.reachability
+
+    def test_estimated_bytes_matches_actual(self):
+        graph = make_graph(seed=5, n=33)
+        index = graph.build_reachability()
+        assert index.nbytes() == ReachabilityIndex.estimated_bytes(33)
+
+
+class TestColoringEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=999))
+    def test_propagation_identical_with_and_without_index(self, seed):
+        """apply_answer through the packed index colors exactly the same
+        vertices as the reference mask-broadcast path."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        plain = make_graph(seed=seed, n=n)
+        indexed = make_graph(seed=seed, n=n)
+        assert indexed.build_reachability() is not None
+        ref, fast = ColoringState(plain), ColoringState(indexed)
+        for _ in range(int(rng.integers(1, 12))):
+            vertex = int(rng.integers(0, n))
+            answer = bool(rng.integers(0, 2))
+            ref.apply_answer(vertex, answer)
+            fast.apply_answer(vertex, answer)
+        for v in range(n):
+            assert ref.color_of(v) == fast.color_of(v)
+        assert ref.color_of(0) in (Color.UNCOLORED, Color.GREEN, Color.RED, Color.BLUE)

@@ -1,0 +1,107 @@
+"""Selector-level tests for the incremental fast paths and their knobs."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerConfig
+from repro.crowd import PerfectCrowd, SimulatedCrowd, WorkerPool
+from repro.exceptions import ConfigurationError
+from repro.graph import GroupedGraph, PairGraph, split_grouping
+from repro.selection import SELECTORS
+
+from conftest import random_vectors
+
+PATH_SELECTORS = ["single-path", "multi-path", "power"]
+
+
+def make_workload(seed: int, n: int = 60):
+    vectors = random_vectors(seed, n, 3)
+    pairs = [(2 * i, 2 * i + 1) for i in range(n)]
+    truth = {pair: bool(vectors[v].mean() > 0.5) for v, pair in enumerate(pairs)}
+    return pairs, vectors, truth
+
+
+def run_selector(name, pairs, vectors, truth, incremental, grouped=False, seed=0):
+    graph = PairGraph(pairs, vectors)
+    if grouped:
+        graph = GroupedGraph(graph, split_grouping(vectors, 0.1))
+    crowd = SimulatedCrowd(truth, WorkerPool(seed=seed))
+    return SELECTORS[name](seed=seed, incremental=incremental).run(
+        graph, crowd.session()
+    )
+
+
+class TestByteIdentical:
+    @pytest.mark.parametrize("name", PATH_SELECTORS)
+    def test_same_transcript_and_coloring(self, name):
+        """incremental=True must change nothing observable: same questions
+        in the same order, same final colors, same labels."""
+        pairs, vectors, truth = make_workload(seed=7)
+        fast = run_selector(name, pairs, vectors, truth, incremental=True)
+        slow = run_selector(name, pairs, vectors, truth, incremental=False)
+        assert fast.state.asked_order == slow.state.asked_order
+        assert np.array_equal(fast.state.colors, slow.state.colors)
+        assert fast.labels == slow.labels
+        assert (fast.questions, fast.iterations) == (slow.questions, slow.iterations)
+
+    @pytest.mark.parametrize("name", ["single-path", "multi-path"])
+    def test_same_transcript_on_grouped_graph(self, name):
+        pairs, vectors, truth = make_workload(seed=11)
+        fast = run_selector(name, pairs, vectors, truth, incremental=True, grouped=True)
+        slow = run_selector(name, pairs, vectors, truth, incremental=False, grouped=True)
+        assert fast.state.asked_order == slow.state.asked_order
+        assert fast.labels == slow.labels
+
+
+class TestTelemetry:
+    def test_extras_carry_selection_telemetry(self):
+        pairs, vectors, truth = make_workload(seed=3)
+        result = run_selector("single-path", pairs, vectors, truth, incremental=True)
+        telemetry = result.extras["selection"]
+        assert telemetry["incremental"] is True
+        assert telemetry["rounds"] >= 1
+        assert telemetry["cover_seconds"] >= 0.0
+        assert telemetry["propagate_seconds"] >= 0.0
+        engine = telemetry["engine"]
+        assert engine["covers"] >= 1
+        assert engine["scratch_builds"] >= 1  # the first cover is a scratch build
+
+    def test_reference_run_reports_incremental_off(self):
+        pairs, vectors, truth = make_workload(seed=3)
+        result = run_selector("single-path", pairs, vectors, truth, incremental=False)
+        assert result.extras["selection"]["incremental"] is False
+
+    def test_perfect_crowd_also_reports(self):
+        pairs, vectors, truth = make_workload(seed=5)
+        graph = PairGraph(pairs, vectors)
+        result = SELECTORS["multi-path"]().run(graph, PerfectCrowd(truth).session())
+        assert result.extras["selection"]["rounds"] == result.iterations
+
+
+class TestConfigKnobs:
+    def test_defaults(self):
+        config = PowerConfig()
+        assert config.use_incremental_selection is True
+        assert config.reachability_index == "auto"
+        assert config.reachability_limit_bytes() is None
+
+    def test_off_maps_to_zero_budget(self):
+        config = PowerConfig(reachability_index="off")
+        assert config.reachability_limit_bytes() == 0
+
+    def test_explicit_byte_budget(self):
+        config = PowerConfig(reachability_index=1 << 20)
+        assert config.reachability_limit_bytes() == 1 << 20
+
+    @pytest.mark.parametrize("bad", ["on", 0, -5, 1.5])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            PowerConfig(reachability_index=bad)
+
+    def test_zero_budget_forces_reference_path(self):
+        pairs, vectors, truth = make_workload(seed=9)
+        graph = PairGraph(pairs, vectors)
+        selector = SELECTORS["single-path"](incremental=True, reachability_bytes=0)
+        result = selector.run(graph, PerfectCrowd(truth).session())
+        assert graph.reachability is None
+        assert result.extras["selection"]["incremental"] is False
