@@ -28,6 +28,13 @@
 #                       benchmarks/results/BENCH_selection.json
 #   make bench-selection-smoke - <60s smoke of the same; the gate only
 #                       requires the incremental engine to win (>= 1.0x)
+#   make bench-obs    - observability overhead benchmark: full resolution in
+#                       three modes (obs off / metrics / tracing+metrics);
+#                       enforces <1% metrics and <5% tracing overhead plus
+#                       deterministic 4-worker span merge, and refreshes
+#                       benchmarks/results/BENCH_obs.json
+#   make bench-obs-smoke - <60s smoke of the same with relaxed percentage
+#                       bars (tiny workloads make relative overhead noise)
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -35,9 +42,9 @@ export PYTHONPATH := src
 # Minimum acceptable line coverage (percent) for `make coverage`.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: check test engine-smoke shard-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke
+.PHONY: check test engine-smoke shard-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke bench-obs bench-obs-smoke
 
-check: test engine-smoke shard-smoke bench-selection-smoke verify coverage lint
+check: test engine-smoke shard-smoke bench-selection-smoke bench-obs-smoke verify coverage lint
 
 test:
 	$(PYTHON) -m pytest -q
@@ -86,3 +93,9 @@ bench-selection:
 
 bench-selection-smoke:
 	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_selection_loop.py --check
+
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py --check
+
+bench-obs-smoke:
+	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py --check

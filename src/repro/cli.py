@@ -16,6 +16,16 @@ Commands:
   :class:`~repro.shard.ShardedResolver` (partitioned multi-process
   resolution), optionally checking byte-level equivalence with the serial
   resolver.
+* ``trace`` — render a span trace recorded by ``--trace`` as an indented
+  timing tree (or dump the raw flat records with ``--json``).
+
+``resolve``, ``simulate``, and ``shard`` share the observability flags:
+``--trace FILE`` records a hierarchical span trace, ``--metrics-out FILE``
+writes the metrics registry (Prometheus text for ``.prom``/``.txt``, JSON
+otherwise), and ``--profile`` samples CPU stacks and prints the hottest
+frames.  All three are off by default and provably transparent — the
+``observability-transparent`` battery checks assert instrumented runs are
+byte-identical to plain ones.
 
 The ``experiment`` sub-command's name list and help text are generated
 from :data:`EXPERIMENTS`, so registering a harness there is the *only*
@@ -25,6 +35,7 @@ step needed to expose it (no drift between the registry and the CLI).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import csv
 import functools
 import sys
@@ -85,6 +96,83 @@ def experiments_help() -> str:
     return "\n".join(lines)
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics-out`` / ``--profile`` flags."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                       help="record a hierarchical span trace of the run "
+                            "to this JSONL file (render with 'repro trace')")
+    group.add_argument("--metrics-out", type=Path, default=None,
+                       metavar="FILE",
+                       help="write the run's metrics registry here "
+                            "(.prom/.txt = Prometheus text, else JSON)")
+    group.add_argument("--profile", action="store_true",
+                       help="sample CPU stacks during the run and print "
+                            "the hottest frames")
+
+
+@contextlib.contextmanager
+def _observed(args):
+    """Activate observability for a command body, per its CLI flags.
+
+    Yields the live :class:`~repro.obs.Observability` handle (or ``None``
+    when no flag asked for one); on clean exit writes the trace and
+    metrics files and prints the profiler report.
+    """
+    from .obs import Observability, SamplingProfiler, activated
+    from .obs import profiler as obs_profiler
+
+    tracing = args.trace is not None
+    metrics = args.metrics_out is not None
+    if not (tracing or metrics or args.profile):
+        yield None
+        return
+    profiler = None
+    if args.profile:
+        if obs_profiler.SUPPORTED:
+            profiler = SamplingProfiler()
+        else:
+            print("profiling needs signal.setitimer (POSIX); continuing "
+                  "without it", file=sys.stderr)
+    obs = Observability(tracing=tracing, metrics=metrics, profiler=profiler)
+    with activated(obs):
+        if profiler is not None:
+            profiler.start()
+        try:
+            yield obs
+        finally:
+            if profiler is not None:
+                profiler.stop()
+    _write_obs_outputs(args, obs)
+
+
+def _write_obs_outputs(args, obs) -> None:
+    from .obs import write_metrics, write_trace
+
+    if args.trace is not None:
+        write_trace(obs.tracer.export(), args.trace)
+        print(f"trace      : {args.trace}")
+    if args.metrics_out is not None:
+        write_metrics(obs.registry, args.metrics_out)
+        print(f"metrics    : {args.metrics_out}")
+    if obs.profiler is not None:
+        print(obs.profiler.report())
+
+
+def _print_round_table(per_round: list[dict], limit: int = 30) -> None:
+    """The unified per-round selection table (``repro simulate``)."""
+    if not per_round:
+        return
+    print("  round  asked  colored  cover(ms)  propagate(ms)")
+    rows = per_round if len(per_round) <= limit else per_round[:limit]
+    for row in rows:
+        print(f"  {row['round']:>5}  {row['asked']:>5}  {row['colored']:>7}  "
+              f"{row['cover_seconds'] * 1000:>9.2f}  "
+              f"{row['propagate_seconds'] * 1000:>13.2f}")
+    if len(per_round) > limit:
+        print(f"  ... ({len(per_round) - limit} more rounds)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--no-error-tolerant", action="store_true",
                          help="run plain Power instead of Power+")
     resolve.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(resolve)
 
     simulate = commands.add_parser(
         "simulate",
@@ -158,6 +247,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--resume", action="store_true",
                           help="resume from an existing journal instead of "
                                "starting fresh")
+    simulate.add_argument("--no-rounds-table", action="store_true",
+                          help="suppress the per-round selection table")
+    _add_obs_arguments(simulate)
 
     experiment = commands.add_parser(
         "experiment",
@@ -239,6 +331,27 @@ def _build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--check-equivalence", action="store_true",
                        help="also run the serial resolver and assert the "
                             "sharded result is identical (exact mode only)")
+    _add_obs_arguments(shard)
+
+    trace = commands.add_parser(
+        "trace",
+        help="render a span trace recorded with --trace",
+        description=(
+            "Read a JSONL span trace (written by the --trace flag of "
+            "resolve/simulate/shard) and print it as an indented timing "
+            "tree: wall and CPU milliseconds per span, attributes, and "
+            "error markers.  Shard workers' spans appear grafted under "
+            "the coordinator in task order."
+        ),
+    )
+    trace.add_argument("input", type=Path, help="trace JSONL file")
+    trace.add_argument("--max-depth", type=int, default=None,
+                       help="hide spans nested deeper than this")
+    trace.add_argument("--min-ms", type=float, default=0.0,
+                       help="hide non-root spans shorter than this")
+    trace.add_argument("--json", action="store_true",
+                       help="dump the raw flat span records instead of "
+                            "the tree")
     return parser
 
 
@@ -296,27 +409,30 @@ def _command_resolve(args) -> int:
         seed=args.seed,
     )
     resolver = PowerResolver(config)
-    if args.budget is not None:
-        pairs = resolver.candidate_pairs(table)
-        graph = resolver.build_graph(table, pairs)
-        session = resolver.simulated_crowd(table, pairs, args.band).session()
-        selection = resolver.make_selector().run(graph, session, budget=args.budget)
-        from .core import pairwise_quality
-        from .core.clustering import clusters_from_matches
-        from .data import true_match_pairs
+    with _observed(args):
+        if args.budget is not None:
+            pairs = resolver.candidate_pairs(table)
+            graph = resolver.build_graph(table, pairs)
+            session = resolver.simulated_crowd(table, pairs, args.band).session()
+            selection = resolver.make_selector().run(
+                graph, session, budget=args.budget
+            )
+            from .core import pairwise_quality
+            from .core.clustering import clusters_from_matches
+            from .data import true_match_pairs
 
-        matches = selection.matches
-        clusters = clusters_from_matches(len(table), matches)
-        quality = pairwise_quality(matches, true_match_pairs(table))
-        questions, iterations, cost = (
-            selection.questions, selection.iterations, selection.cost_cents,
-        )
-    else:
-        result = resolver.resolve(table, worker_band=args.band)
-        clusters, quality = result.clusters, result.quality
-        questions, iterations, cost = (
-            result.questions, result.iterations, result.cost_cents,
-        )
+            matches = selection.matches
+            clusters = clusters_from_matches(len(table), matches)
+            quality = pairwise_quality(matches, true_match_pairs(table))
+            questions, iterations, cost = (
+                selection.questions, selection.iterations, selection.cost_cents,
+            )
+        else:
+            result = resolver.resolve(table, worker_band=args.band)
+            clusters, quality = result.clusters, result.quality
+            questions, iterations, cost = (
+                result.questions, result.iterations, result.cost_cents,
+            )
     print(f"questions : {questions}")
     print(f"iterations: {iterations}")
     print(f"cost      : {cost / 100:.2f} USD")
@@ -352,17 +468,20 @@ def _command_simulate(args) -> int:
     if not args.resume and journal_path.exists():
         journal_path.unlink()  # a fresh run must not replay a stale journal
 
-    workload = prepare(args.dataset)
-    crowd = make_crowd(workload, args.band, args.seed, mode="simulation")
-    engine = CrowdEngine(EngineConfig(
-        faults=profile,
-        seed=args.seed,
-        max_cents=args.budget_cents,
-        max_questions=args.budget_questions,
-        journal_path=journal_path,
-        resume=args.resume,
-    ))
-    row = run_method(args.method, workload, crowd, seed=args.seed, engine=engine)
+    with _observed(args):
+        workload = prepare(args.dataset)
+        crowd = make_crowd(workload, args.band, args.seed, mode="simulation")
+        engine = CrowdEngine(EngineConfig(
+            faults=profile,
+            seed=args.seed,
+            max_cents=args.budget_cents,
+            max_questions=args.budget_questions,
+            journal_path=journal_path,
+            resume=args.resume,
+        ))
+        row = run_method(
+            args.method, workload, crowd, seed=args.seed, engine=engine
+        )
 
     telemetry = engine.telemetry
     estimate = LatencyModel().estimate_seconds(row.extras.get("batch_sizes", []))
@@ -382,6 +501,8 @@ def _command_simulate(args) -> int:
             print(f"path-cover     : covers {engine_stats['covers']}  "
                   f"scratch builds {engine_stats['scratch_builds']}  "
                   f"deleted vertices {engine_stats['deleted_vertices']}")
+        if not args.no_rounds_table:
+            _print_round_table(selection.get("per_round", []))
     print(f"F1             : {row.f_measure:.3f}")
     print(f"billed         : {row.cost_cents / 100:.2f} USD")
     print(f"total spent    : {telemetry.total_spent_cents / 100:.2f} USD "
@@ -399,6 +520,24 @@ def _command_simulate(args) -> int:
 def _command_experiment(args) -> int:
     harness = EXPERIMENTS[args.name]
     harness(save_to=args.save_to)
+    return 0
+
+
+def _command_trace(args) -> int:
+    import json
+
+    from .obs import read_trace, render_trace, trace_records
+
+    spans = read_trace(args.input)
+    if args.json:
+        for record in trace_records(spans):
+            print(json.dumps(record, sort_keys=True))
+    else:
+        print(render_trace(
+            spans,
+            max_depth=args.max_depth,
+            min_seconds=args.min_ms / 1000.0,
+        ))
     return 0
 
 
@@ -449,12 +588,13 @@ def _command_shard(args) -> int:
         config, workers=args.workers, mode=args.mode, timeout=args.timeout
     )
     start = time.perf_counter()
-    result = resolver.resolve(
-        table,
-        worker_band=args.band,
-        budget=args.budget,
-        max_cents=args.budget_cents,
-    )
+    with _observed(args):
+        result = resolver.resolve(
+            table,
+            worker_band=args.band,
+            budget=args.budget,
+            max_cents=args.budget_cents,
+        )
     elapsed = time.perf_counter() - start
     info = result.selection.extras.get("shard", {})
     print(f"dataset    : {table.name} ({len(table)} records)")
@@ -507,6 +647,7 @@ def main(argv=None) -> int:
         "experiment": _command_experiment,
         "verify": _command_verify,
         "shard": _command_shard,
+        "trace": _command_trace,
     }
     try:
         return handlers[args.command](args)

@@ -22,6 +22,7 @@ Example:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -35,6 +36,7 @@ from ..data.table import Table
 from ..exceptions import ConfigurationError, DataError
 from ..graph.dag import OrderedGraph
 from ..graph.grouped_graph import build_graph
+from ..obs import instrument as obs_instrument
 from ..selection import SELECTORS
 from ..selection.base import SelectionResult
 from ..similarity.batch import batch_similarity_matrix
@@ -225,37 +227,91 @@ class PowerResolver:
                 "pass either an explicit session or an engine, not both "
                 "(build the session via engine.session(...) yourself instead)"
             )
-        pairs = self.candidate_pairs(table)
-        if not pairs:
-            raise DataError(
-                f"no candidate pairs survive pruning at threshold "
-                f"{self.config.pruning_threshold} on table {table.name!r}"
+        obs = obs_instrument.current()
+        tracer = obs.tracer
+        with tracer.span(
+            "resolve", dataset=table.name, selector=self.config.selector
+        ) as resolve_span:
+            started = time.perf_counter()
+            with tracer.span("resolve.join"):
+                pairs = self.candidate_pairs(table)
+            obs_instrument.record_stage_seconds(
+                obs, "join", time.perf_counter() - started, dataset=table.name
             )
-        vectors = self.similarity_vectors(table, pairs)
-        graph = self.build_graph(table, pairs, vectors=vectors)
-        if session is None:
-            crowd = self.simulated_crowd(table, pairs, worker_band)
-            if engine is not None:
-                scores = vectors.mean(axis=1)
-                session = engine.session(
-                    crowd,
-                    machine_scores={
-                        pair: float(score) for pair, score in zip(pairs, scores)
-                    },
+            if not pairs:
+                raise DataError(
+                    f"no candidate pairs survive pruning at threshold "
+                    f"{self.config.pruning_threshold} on table {table.name!r}"
                 )
-            else:
-                session = crowd.session()
-        selection = self.make_selector().run(graph, session)
-        if engine is not None:
-            engine.finalize(session)
-            selection.extras["telemetry"] = engine.telemetry.as_dict()
-            selection.extras["wall_clock_seconds"] = engine.wall_clock_seconds
-            selection.extras["batch_sizes"] = list(session.batch_sizes)
-        matches = selection.matches
-        clusters = clusters_from_matches(len(table), matches)
-        quality = None
-        if table.has_ground_truth():
-            quality = pairwise_quality(matches, true_match_pairs(table))
+            started = time.perf_counter()
+            with tracer.span("resolve.vectorize", pairs=len(pairs)):
+                vectors = self.similarity_vectors(table, pairs)
+            obs_instrument.record_stage_seconds(
+                obs, "vectorize", time.perf_counter() - started, dataset=table.name
+            )
+            started = time.perf_counter()
+            with tracer.span("resolve.construct") as construct_span:
+                graph = self.build_graph(table, pairs, vectors=vectors)
+                construct_span.set_attribute("vertices", len(graph))
+            obs_instrument.record_stage_seconds(
+                obs, "construct", time.perf_counter() - started, dataset=table.name
+            )
+            if session is None:
+                crowd = self.simulated_crowd(table, pairs, worker_band)
+                if engine is not None:
+                    scores = vectors.mean(axis=1)
+                    session = engine.session(
+                        crowd,
+                        machine_scores={
+                            pair: float(score) for pair, score in zip(pairs, scores)
+                        },
+                    )
+                else:
+                    session = crowd.session()
+            started = time.perf_counter()
+            selection = self.make_selector().run(graph, session)
+            obs_instrument.record_stage_seconds(
+                obs, "select", time.perf_counter() - started, dataset=table.name
+            )
+            if engine is not None:
+                engine.finalize(session)
+                selection.extras["telemetry"] = engine.telemetry.as_dict()
+                selection.extras["wall_clock_seconds"] = engine.wall_clock_seconds
+                selection.extras["batch_sizes"] = list(session.batch_sizes)
+            started = time.perf_counter()
+            with tracer.span("resolve.cluster"):
+                matches = selection.matches
+                clusters = clusters_from_matches(len(table), matches)
+                quality = None
+                if table.has_ground_truth():
+                    quality = pairwise_quality(matches, true_match_pairs(table))
+            obs_instrument.record_stage_seconds(
+                obs, "cluster", time.perf_counter() - started, dataset=table.name
+            )
+            if obs.metrics:
+                registry = obs.registry
+                registry.counter(
+                    "repro_resolve_runs_total",
+                    "end-to-end resolution runs",
+                    dataset=table.name,
+                ).inc()
+                registry.gauge(
+                    "repro_resolve_candidate_pairs",
+                    "pairs surviving the pruning join in the last run",
+                    dataset=table.name,
+                ).set(len(pairs))
+                registry.gauge(
+                    "repro_resolve_questions",
+                    "crowd questions asked in the last run",
+                    dataset=table.name,
+                ).set(selection.questions)
+                registry.gauge(
+                    "repro_resolve_cost_cents",
+                    "crowd cost of the last run",
+                    dataset=table.name,
+                ).set(selection.cost_cents)
+            resolve_span.set_attribute("questions", selection.questions)
+            resolve_span.set_attribute("clusters", len(clusters))
         return ResolutionResult(
             table_name=table.name,
             candidate_pairs=pairs,

@@ -37,9 +37,9 @@ from .journal import (
     read_records,
     replay_state,
 )
+from ..obs.telemetry import Telemetry
 from .retry import RetryPolicy
 from .runtime import CrowdEngine, EngineConfig, EngineSession, engine_round
-from .telemetry import Telemetry
 
 __all__ = [
     "AssignmentFate",

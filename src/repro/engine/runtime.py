@@ -34,13 +34,14 @@ from ..crowd.latency import LatencyModel
 from ..crowd.platform import CrowdSession, SimulatedCrowd
 from ..data.ground_truth import Pair, canonical_pair
 from ..exceptions import ConfigurationError, EngineError, SimulatedCrash
+from ..obs import instrument as obs_instrument
+from ..obs.telemetry import Telemetry
 from .budget import BudgetGuard
 from .events import EventLoop
 from .faults import FaultProfile, resolve_profile
 from .hit import HIT
 from .journal import JOURNAL_VERSION, Journal, load_journal
 from .retry import RetryPolicy
-from .telemetry import Telemetry
 
 
 @dataclass
@@ -89,7 +90,14 @@ class CrowdEngine:
         self.config = config or EngineConfig()
         self.profile = resolve_profile(self.config.faults)
         self.loop = EventLoop()
-        self.telemetry = Telemetry(event_log_limit=self.config.event_log_limit)
+        # When observability is active, the engine's counters live in the
+        # shared registry so they export alongside the pipeline's metrics;
+        # otherwise each engine keeps a private registry (run isolation).
+        obs = obs_instrument.current()
+        self.telemetry = Telemetry(
+            event_log_limit=self.config.event_log_limit,
+            registry=obs.registry if obs.metrics else None,
+        )
         self.guard = BudgetGuard(
             max_cents=self.config.max_cents, max_questions=self.config.max_questions
         )
@@ -278,7 +286,10 @@ class EngineSession(CrowdSession):
         if crowd_batch:
             self.iterations += 1
             self.batch_sizes.append(len(crowd_batch))
-            resolved, failed = engine_round(engine, self, crowd_batch)
+            with obs_instrument.current().tracer.span(
+                "engine.round", size=len(crowd_batch)
+            ):
+                resolved, failed = engine_round(engine, self, crowd_batch)
             for pair in resolved:
                 self._asked.add(pair)
             answers.update(resolved)

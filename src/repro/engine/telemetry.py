@@ -1,116 +1,42 @@
-"""Structured per-run telemetry: counters plus a bounded event log.
+"""Deprecation shim: :class:`Telemetry` now lives in :mod:`repro.obs`.
 
-The engine's observable surface for experiments and operations.  Counters
-answer the questions a deployment dashboard would ask (how many re-posts?
-how much over the nominal bill did faults cost? how long did the run take
-in simulated wall-clock?), and the event log keeps the most recent platform
-events for debugging without letting a large run's telemetry outgrow its
-journal.  ``write`` persists everything as JSON next to the journal so the
-``extension-faults`` experiment and ``repro simulate`` can leave auditable
-artifacts under ``benchmarks/results/``.
+The engine's telemetry moved onto the shared observability registry
+(:mod:`repro.obs.telemetry`) so an engine run's counters export through
+the same Prometheus/JSON/console surfaces as every other subsystem.  This
+module keeps the old import path working — ``from repro.engine.telemetry
+import Telemetry`` still succeeds and returns the registry-backed class,
+whose attribute semantics and ``as_dict``/``write``/``summary`` output are
+byte-identical to the pre-migration dataclass (pinned by the regression
+test in ``tests/test_obs_integration.py``).
+
+Importing the name through this module emits a :class:`DeprecationWarning`
+pointing at the new home; the engine itself imports from
+:mod:`repro.obs.telemetry` directly.
 """
 
 from __future__ import annotations
 
-import json
-from collections import deque
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any
+import warnings
+
+from ..obs.telemetry import Telemetry as _Telemetry
+
+_MOVED = {"Telemetry": _Telemetry}
 
 
-@dataclass
-class Telemetry:
-    """Counters and recent events for one engine run.
-
-    Attributes:
-        posted: assignment attempts posted (first posts + re-posts).
-        assigned: assignments claimed by a worker.
-        answered_units: assignments submitted successfully.
-        answered_pairs: questions whose aggregated answer was resolved.
-        expired: assignments that timed out unclaimed (worker no-shows).
-        abandoned: assignments claimed but never submitted.
-        re_posts: retry attempts (posted minus first posts).
-        failed_units: assignments that exhausted their retry budget.
-        machine_answers: pairs settled by the machine fallback (budget
-            exhaustion or total assignment failure).
-        spam_hijacked: pairs whose aggregated answer a spam burst replaced.
-        rounds: crowd batches posted.
-        wall_clock_seconds: final simulated clock.
-        repost_cents: money burned re-posting failed assignments.
-        billed_cents: the session's distinct-question bill.
-        event_log_limit: how many recent events to retain.
-    """
-
-    posted: int = 0
-    assigned: int = 0
-    answered_units: int = 0
-    answered_pairs: int = 0
-    expired: int = 0
-    abandoned: int = 0
-    re_posts: int = 0
-    failed_units: int = 0
-    machine_answers: int = 0
-    spam_hijacked: int = 0
-    rounds: int = 0
-    wall_clock_seconds: float = 0.0
-    repost_cents: float = 0.0
-    billed_cents: int = 0
-    event_log_limit: int = 1000
-    _events: deque = field(default_factory=deque, repr=False)
-
-    def record_event(self, kind: str, clock: float, **details: Any) -> None:
-        """Keep a recent-events window for debugging and reports."""
-        self._events.append({"type": kind, "clock": round(clock, 3), **details})
-        while len(self._events) > self.event_log_limit:
-            self._events.popleft()
-
-    @property
-    def events(self) -> list[dict[str, Any]]:
-        return list(self._events)
-
-    @property
-    def total_spent_cents(self) -> float:
-        """Everything the run cost: nominal bill plus fault surcharge."""
-        return self.billed_cents + self.repost_cents
-
-    def as_dict(self) -> dict[str, Any]:
-        return {
-            "counters": {
-                "posted": self.posted,
-                "assigned": self.assigned,
-                "answered_units": self.answered_units,
-                "answered_pairs": self.answered_pairs,
-                "expired": self.expired,
-                "abandoned": self.abandoned,
-                "re_posts": self.re_posts,
-                "failed_units": self.failed_units,
-                "machine_answers": self.machine_answers,
-                "spam_hijacked": self.spam_hijacked,
-                "rounds": self.rounds,
-            },
-            "wall_clock_seconds": round(self.wall_clock_seconds, 3),
-            "billed_cents": self.billed_cents,
-            "repost_cents": round(self.repost_cents, 3),
-            "total_spent_cents": round(self.total_spent_cents, 3),
-            "recent_events": self.events,
-        }
-
-    def write(self, path: str | Path) -> Path:
-        """Persist the telemetry as JSON; returns the written path."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8")
-        return path
-
-    def summary(self) -> str:
-        """A compact human-readable report for CLI output."""
-        minutes = self.wall_clock_seconds / 60.0
-        return (
-            f"rounds={self.rounds} answered={self.answered_pairs} "
-            f"re-posts={self.re_posts} expired={self.expired} "
-            f"abandoned={self.abandoned} machine={self.machine_answers} "
-            f"spam={self.spam_hijacked} "
-            f"spent={self.total_spent_cents / 100:.2f}USD "
-            f"wall-clock={minutes:.1f}min"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.engine.telemetry.{name} moved to repro.obs.telemetry; "
+            "update imports (this shim will be removed)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return _MOVED[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))
+
+
+__all__ = ["Telemetry"]

@@ -46,6 +46,12 @@ class SimulatedCrash(EngineError):
     mid-flight, leaving a partial journal behind for crash-resume tests."""
 
 
+class ObservabilityError(PowerError):
+    """The tracing/metrics subsystem was misused (mismatched histogram
+    boundaries in a merge, a metric re-registered under a different type,
+    an unbalanced span stack, a profiler started off the main thread)."""
+
+
 class VerificationError(PowerError):
     """A correctness check of :mod:`repro.verify` failed: a production path
     disagreed with its brute-force oracle, or an invariant was violated."""

@@ -1,0 +1,227 @@
+"""Exporters: JSONL traces, Prometheus text, and console summaries.
+
+Three audiences, three formats:
+
+* **JSONL traces** — one span per line with pre-order ids, written next to
+  the engine journal (same append-friendly shape, same tooling).  The
+  flat-with-parent-pointers layout keeps huge traces streamable; the
+  reader rebuilds the nested form for rendering.
+* **Prometheus text exposition** — counters, gauges, and histograms in the
+  standard ``# HELP`` / ``# TYPE`` format (histograms as cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``), so a scrape target
+  or pushgateway can ingest a run's metrics unchanged.
+* **console** — the human ``repro trace`` view: an indented span tree with
+  wall/CPU durations and a metric table.
+
+``write_metrics`` picks the format from the file suffix: ``.prom`` /
+``.txt`` write the exposition format, anything else writes the registry's
+JSON snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import ObservabilityError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import walk
+
+TRACE_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Traces
+# --------------------------------------------------------------------------- #
+
+
+def trace_records(spans: list[dict]) -> list[dict]:
+    """Flatten nested span dicts into id/parent records (pre-order ids)."""
+    records: list[dict] = []
+
+    def emit(span: dict, parent: int | None) -> None:
+        span_id = len(records)
+        flat = {k: v for k, v in span.items() if k != "children"}
+        records.append({"id": span_id, "parent": parent, **flat})
+        for child in span.get("children", []):
+            emit(child, span_id)
+
+    for span in spans:
+        emit(span, None)
+    return records
+
+
+def write_trace(spans: list[dict], path: str | Path) -> Path:
+    """Write a trace as JSONL: a header line, then one span per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "header", "version": TRACE_VERSION}) + "\n")
+        for record in trace_records(spans):
+            handle.write(json.dumps({"type": "span", **record}) + "\n")
+    return path
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Rebuild the nested span dicts from a JSONL trace file."""
+    path = Path(path)
+    lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line]
+    if not lines:
+        raise ObservabilityError(f"trace file {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("type") != "header" or header.get("version") != TRACE_VERSION:
+        raise ObservabilityError(
+            f"trace file {path} has no recognizable header: {lines[0][:80]}"
+        )
+    by_id: dict[int, dict] = {}
+    roots: list[dict] = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        if record.get("type") != "span":
+            continue
+        span = {k: v for k, v in record.items() if k not in ("type", "id", "parent")}
+        span["children"] = []
+        by_id[record["id"]] = span
+        parent = record["parent"]
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent]["children"].append(span)
+    for span in by_id.values():
+        if not span["children"]:
+            del span["children"]
+    return roots
+
+
+def render_trace(
+    spans: list[dict], max_depth: int | None = None, min_seconds: float = 0.0
+) -> str:
+    """The indented human view of a trace (the ``repro trace`` output)."""
+    lines = []
+    for depth, span in walk(spans):
+        if max_depth is not None and depth > max_depth:
+            continue
+        wall = span.get("wall_seconds", 0.0)
+        if depth and wall < min_seconds:
+            continue
+        cpu = span.get("cpu_seconds", 0.0)
+        marker = "" if span.get("status", "ok") == "ok" else "  !! " + span.get(
+            "error", "error"
+        )
+        attrs = span.get("attributes") or {}
+        rendered_attrs = (
+            " [" + " ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{span['name']:<{max(1, 40 - 2 * depth)}} "
+            f"{wall * 1000:>9.2f} ms  cpu {cpu * 1000:>8.2f} ms"
+            f"{rendered_attrs}{marker}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (sorted, stable)."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.metrics():
+        name = _prom_name(metric.name)
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if metric.description:
+                lines.append(f"# HELP {name} {metric.description}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{name}{_prom_labels(metric.labels)} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            for edge, count in zip(metric.boundaries, metric.bucket_counts):
+                cumulative += count
+                le = 'le="%s"' % _prom_value(edge)
+                lines.append(
+                    f"{name}_bucket{_prom_labels(metric.labels, le)} {cumulative}"
+                )
+            inf_labels = _prom_labels(metric.labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf_labels} {metric.count}")
+            lines.append(
+                f"{name}_sum{_prom_labels(metric.labels)} {_prom_value(metric.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(metric.labels)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write metrics; ``.prom``/``.txt`` → exposition text, else JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(registry), encoding="utf-8")
+    else:
+        path.write_text(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return path
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """A compact console table of every metric in the registry."""
+    lines = []
+    for metric in registry.metrics():
+        label = metric.name + (
+            "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+            if metric.labels
+            else ""
+        )
+        if isinstance(metric, Histogram):
+            if metric.count:
+                detail = (
+                    f"count={metric.count} mean={metric.mean:.4g} "
+                    f"min={metric.min:.4g} max={metric.max:.4g}"
+                )
+            else:
+                detail = "count=0"
+            lines.append(f"  {label:<52} {detail}")
+        else:
+            lines.append(f"  {label:<52} {_prom_value(metric.value)}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TRACE_VERSION",
+    "read_trace",
+    "render_metrics",
+    "render_trace",
+    "to_prometheus",
+    "trace_records",
+    "write_metrics",
+    "write_trace",
+]

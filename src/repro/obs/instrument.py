@@ -1,0 +1,238 @@
+"""The process-wide observability handle and the pipeline's hook points.
+
+:class:`Observability` bundles one tracer, one metrics registry, and an
+optional sampling profiler; :func:`current` returns the installed handle
+(a permanently-disabled singleton by default) and :func:`activated` swaps
+a live one in for a ``with`` block.  Pipeline code *always* calls the
+hooks — they cost an attribute check when observability is off — so
+turning tracing on is a pure runtime decision (a CLI flag, a test
+fixture), never a code path change.
+
+Hook inventory (each documents the metric names it owns):
+
+* :func:`observe_round` — per-round selection accounting; **returns the
+  vertex batch it was shown, unchanged**.  The returned list is what the
+  selector actually asks, which makes this the exact seam the
+  ``obs-perturbs-selection`` mutant attacks and the
+  ``check_observability_transparent`` battery step certifies.
+* :func:`record_selection_metrics` — the canonical mapping from the
+  ad-hoc ``SelectionResult.extras["selection"]`` dict onto registry
+  metrics (one schema for ``repro simulate`` tables, Prometheus, and the
+  shard merge).
+* :func:`record_executor_stats` — shard-executor fault counters.
+
+Transparency contract: hooks read, record, and return their inputs
+untouched; they never consume RNG state, mutate graphs/colorings, or
+reorder batches.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .metrics import COUNT_BOUNDARIES, MetricsRegistry, SECONDS_BOUNDARIES
+from .profiler import SamplingProfiler
+from .trace import Tracer
+
+
+@dataclass
+class Observability:
+    """One run's observability handle: tracer + registry (+ profiler).
+
+    Args:
+        tracing: record spans (hierarchical timings).
+        metrics: record registry metrics.  The registry object always
+            exists so call sites stay branch-free; this flag gates the
+            hooks that would populate it.
+        profiler: an armed :class:`~repro.obs.profiler.SamplingProfiler`,
+            when hot-path attribution was requested.
+    """
+
+    tracing: bool = True
+    metrics: bool = True
+    profiler: SamplingProfiler | None = None
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.tracer = Tracer(enabled=self.tracing)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any instrumentation (spans or metrics) is live."""
+        return self.tracing or self.metrics
+
+
+#: The inert default: hooks bail out, spans are the shared no-op.
+DISABLED = Observability(tracing=False, metrics=False)
+
+_installed = DISABLED
+_install_lock = threading.Lock()
+
+
+def current() -> Observability:
+    """The installed observability handle (the disabled singleton if none)."""
+    return _installed
+
+
+@contextmanager
+def activated(obs: Observability | None = None):
+    """Install *obs* (default: a fresh fully-enabled handle) for a block.
+
+    Installation is process-global — the pipeline's stages, the engine,
+    and the shard coordinator all pick it up through :func:`current` —
+    and always restored, so a crashed run cannot leak an active tracer
+    into the next test.
+    """
+    global _installed
+    obs = obs or Observability()
+    with _install_lock:
+        previous = _installed
+        _installed = obs
+    try:
+        yield obs
+    finally:
+        with _install_lock:
+            _installed = previous
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline hooks
+# --------------------------------------------------------------------------- #
+
+
+def observe_round(
+    obs: Observability,
+    selector_name: str,
+    round_index: int,
+    vertices: list[int],
+    cover_seconds: float,
+) -> list[int]:
+    """Record one selection round; returns the batch unchanged.
+
+    Metrics: ``repro_selection_rounds_total`` and
+    ``repro_selection_questions_total`` counters plus the
+    ``repro_selection_round_batch_size`` histogram, all labeled
+    ``selector=<name>``.
+    """
+    if obs.metrics:
+        registry = obs.registry
+        registry.counter(
+            "repro_selection_rounds_total",
+            "selection rounds executed",
+            selector=selector_name,
+        ).inc()
+        registry.counter(
+            "repro_selection_questions_total",
+            "vertices sent to the crowd",
+            selector=selector_name,
+        ).inc(len(vertices))
+        registry.histogram(
+            "repro_selection_round_batch_size",
+            "questions per selection round",
+            boundaries=COUNT_BOUNDARIES,
+            selector=selector_name,
+        ).observe(len(vertices))
+        registry.histogram(
+            "repro_selection_cover_seconds",
+            "per-round question-selection (path cover) time",
+            selector=selector_name,
+        ).observe(cover_seconds)
+    return vertices
+
+
+def record_selection_metrics(
+    obs: Observability, selector_name: str, selection_stats: dict
+) -> None:
+    """Canonical ``extras["selection"]`` → registry mapping.
+
+    One schema for every consumer (CLI tables, Prometheus, JSON):
+
+    ==============================  =======================================
+    extras key                      metric
+    ==============================  =======================================
+    ``rounds``                      ``repro_selection_rounds`` gauge
+    ``cover_seconds``               ``repro_selection_cover_seconds_total``
+    ``propagate_seconds``           ``repro_selection_propagate_seconds_total``
+    ``incremental``                 ``repro_selection_incremental`` gauge
+    ``engine.covers``               ``repro_selection_path_covers_total``
+    ``engine.scratch_builds``       ``repro_selection_scratch_builds_total``
+    ``engine.deleted_vertices``     ``repro_selection_deleted_vertices_total``
+    ==============================  =======================================
+    """
+    if not obs.metrics:
+        return
+    registry = obs.registry
+    labels = {"selector": selector_name}
+    registry.gauge(
+        "repro_selection_rounds", "selection rounds in the last run", **labels
+    ).set(selection_stats.get("rounds", 0))
+    registry.counter(
+        "repro_selection_cover_seconds_total",
+        "seconds choosing questions (Fig. 30 assignment time)",
+        **labels,
+    ).inc(selection_stats.get("cover_seconds", 0.0))
+    registry.counter(
+        "repro_selection_propagate_seconds_total",
+        "seconds propagating answers through the partial order",
+        **labels,
+    ).inc(selection_stats.get("propagate_seconds", 0.0))
+    registry.gauge(
+        "repro_selection_incremental",
+        "1 when the incremental selection engine was active",
+        **labels,
+    ).set(1.0 if selection_stats.get("incremental") else 0.0)
+    engine_stats = selection_stats.get("engine") or {}
+    for key, metric_name in (
+        ("covers", "repro_selection_path_covers_total"),
+        ("scratch_builds", "repro_selection_scratch_builds_total"),
+        ("deleted_vertices", "repro_selection_deleted_vertices_total"),
+    ):
+        if key in engine_stats:
+            registry.counter(
+                metric_name, f"incremental path-cover engine: {key}", **labels
+            ).inc(engine_stats[key])
+
+
+def record_executor_stats(obs: Observability, stats_dict: dict) -> None:
+    """Shard-executor fault telemetry → ``repro_shard_*`` metrics."""
+    if not obs.metrics:
+        return
+    registry = obs.registry
+    for key in ("tasks", "retries", "timeouts", "broken_pools", "fallbacks"):
+        registry.counter(
+            f"repro_shard_{key}_total", f"shard executor: {key}"
+        ).inc(stats_dict.get(key, 0))
+    registry.counter(
+        "repro_shard_run_seconds_total",
+        "wall seconds inside ShardExecutor.run",
+    ).inc(stats_dict.get("run_seconds", 0.0))
+
+
+def record_stage_seconds(
+    obs: Observability, stage: str, seconds: float, **labels: str
+) -> None:
+    """One pipeline stage's wall time → ``repro_pipeline_stage_seconds``."""
+    if not obs.metrics:
+        return
+    obs.registry.histogram(
+        "repro_pipeline_stage_seconds",
+        "wall seconds per resolution pipeline stage",
+        boundaries=SECONDS_BOUNDARIES,
+        stage=stage,
+        **labels,
+    ).observe(seconds)
+
+
+__all__ = [
+    "DISABLED",
+    "Observability",
+    "activated",
+    "current",
+    "observe_round",
+    "record_executor_stats",
+    "record_selection_metrics",
+    "record_stage_seconds",
+]

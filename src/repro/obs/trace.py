@@ -1,0 +1,260 @@
+"""Hierarchical tracing: spans, the tracer, and cross-process grafting.
+
+A **span** is one timed region of the pipeline — a resolve stage, a crowd
+round, a shard task — carrying wall and CPU durations, arbitrary
+attributes, an ok/error status, and child spans.  A **tracer** hands out
+spans through a context manager (or decorator), maintaining a per-thread
+stack so nesting falls out of lexical structure:
+
+    with tracer.span("resolve", dataset="restaurant"):
+        with tracer.span("resolve.join"):
+            ...
+
+Three properties matter for the rest of the repo:
+
+* **near-zero cost when disabled** — a disabled tracer returns one shared
+  no-op context manager; the hot paths pay an attribute check and a call.
+* **thread safety** — each thread has its own span stack (a root started
+  on a worker thread becomes its own trace root, tagged with the thread
+  name); finished roots land in one ordered list under a lock.
+* **deterministic cross-process grafting** — shard workers trace into
+  their own tracer, export plain dicts, and the coordinator grafts them
+  back with :meth:`Tracer.graft` *in task order*, so the merged trace is
+  identical regardless of worker completion order (asserted by the shard
+  battery test).  Span ids are assigned at export time by pre-order
+  numbering — content-determined, not allocation-determined.
+
+Transparency contract: spans never touch the objects they observe.  The
+``check_observability_transparent`` battery step runs the pipeline with
+tracing on and off and demands byte-identical results; the
+``obs-perturbs-selection`` mutant proves that check has teeth.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable
+
+from ..exceptions import ObservabilityError
+from .clock import SYSTEM_CLOCK
+
+
+class Span:
+    """One timed, attributed, nestable region of work."""
+
+    __slots__ = (
+        "name", "attributes", "children", "status", "error",
+        "start_wall", "start_cpu", "wall_seconds", "cpu_seconds", "thread",
+    )
+
+    def __init__(self, name: str, attributes: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.children: list[Span] = []
+        self.status = "ok"
+        self.error: str | None = None
+        self.start_wall = 0.0
+        self.start_cpu = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.thread: str | None = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        """Nested JSON-ready form (used for cross-process export)."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "wall_seconds": round(self.wall_seconds, 9),
+            "cpu_seconds": round(self.cpu_seconds, 9),
+            "status": self.status,
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.thread:
+            payload["thread"] = self.thread
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        span = cls(payload["name"], payload.get("attributes"))
+        span.wall_seconds = float(payload.get("wall_seconds", 0.0))
+        span.cpu_seconds = float(payload.get("cpu_seconds", 0.0))
+        span.status = payload.get("status", "ok")
+        span.error = payload.get("error")
+        span.thread = payload.get("thread")
+        span.children = [cls.from_dict(child) for child in payload.get("children", [])]
+        return span
+
+
+class _NullSpanContext:
+    """The shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens *span* on enter and seals it on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self.span)
+        return None  # never swallow the exception
+
+
+class Tracer:
+    """Span factory with a per-thread stack and an ordered root list."""
+
+    def __init__(self, enabled: bool = True, clock=None) -> None:
+        self.enabled = enabled
+        self.clock = clock or SYSTEM_CLOCK
+        self._local = threading.local()
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span context; a no-op singleton when tracing is off."""
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, attributes)
+        return _SpanContext(self, span)
+
+    def trace(self, name: str | None = None) -> Callable:
+        """Decorator form: trace every call of the wrapped function."""
+
+        def decorate(function: Callable) -> Callable:
+            span_name = name or function.__qualname__
+
+            @functools.wraps(function)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return function(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span.start_wall = self.clock.wall()
+        span.start_cpu = self.clock.cpu()
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise ObservabilityError(
+                f"span stack corrupted: closing {span.name!r} but the stack "
+                f"top is {stack[-1].name if stack else None!r}"
+            )
+        stack.pop()
+        span.wall_seconds = self.clock.wall() - span.start_wall
+        span.cpu_seconds = self.clock.cpu() - span.start_cpu
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            thread = threading.current_thread()
+            if thread is not threading.main_thread():
+                span.thread = thread.name
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process grafting and export
+    # ------------------------------------------------------------------ #
+
+    def graft(self, exported: list[dict], **attributes: Any) -> None:
+        """Attach worker-exported span dicts under the current span.
+
+        Call in a deterministic order (task index, not completion order):
+        grafting appends, so the merged trace's structure is exactly the
+        call order.  With no open span the grafts become roots.
+        """
+        if not self.enabled:
+            return
+        spans = [Span.from_dict(payload) for payload in exported]
+        for span in spans:
+            span.attributes.update(attributes)
+        parent = self.current()
+        if parent is not None:
+            parent.children.extend(spans)
+        else:
+            with self._lock:
+                self._roots.extend(spans)
+
+    def export(self) -> list[dict]:
+        """Finished root spans as nested dicts, in finish order."""
+        with self._lock:
+            return [span.to_dict() for span in self._roots]
+
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+def walk(spans: list[dict], depth: int = 0):
+    """Pre-order ``(depth, span_dict)`` iteration over exported spans."""
+    for span in spans:
+        yield depth, span
+        yield from walk(span.get("children", []), depth + 1)
+
+
+def structure(spans: list[dict]) -> list[tuple[int, str]]:
+    """The timing-free shape of a trace: ``(depth, name)`` in pre-order.
+
+    Two traces of the same run must have equal structures no matter how
+    workers were scheduled — the shard determinism tests compare these.
+    """
+    return [(depth, span["name"]) for depth, span in walk(spans)]
+
+
+__all__ = ["NULL_SPAN", "Span", "Tracer", "structure", "walk"]

@@ -25,6 +25,7 @@ from ..data.ground_truth import Pair
 from ..exceptions import SelectionError
 from ..graph.coloring import ColoringState
 from ..graph.dag import OrderedGraph
+from ..obs import instrument as obs_instrument
 from .error_tolerant import (
     ErrorPolicy,
     resolve_blue_pairs,
@@ -130,57 +131,93 @@ class QuestionSelector(ABC):
         """
         if budget is not None and budget < 0:
             raise SelectionError(f"budget must be >= 0, got {budget}")
+        obs = obs_instrument.current()
+        tracer = obs.tracer
         self.reset()
         self._propagate_seconds = 0.0
         if self.incremental:
-            graph.build_reachability(self.reachability_bytes)
+            with tracer.span("selection.build_reachability", selector=self.name):
+                graph.build_reachability(self.reachability_bytes)
         rng = np.random.default_rng(self.seed)
         state = ColoringState(graph)
         assignment_time = 0.0
         rounds = 0
         guard = 0
-        while not state.is_complete():
-            remaining = (
-                None if budget is None else budget - session.questions_asked
-            )
-            if remaining is not None and remaining <= 0:
-                break
-            guard += 1
-            if guard > 10 * len(graph) + 10:
-                raise SelectionError(
-                    f"{self.name}: no progress after {guard} iterations"
+        per_round: list[dict] = []
+        with tracer.span(
+            "selection.run", selector=self.name, vertices=len(graph)
+        ) as run_span:
+            while not state.is_complete():
+                remaining = (
+                    None if budget is None else budget - session.questions_asked
                 )
-            started = time.perf_counter()
-            vertices = self.select(graph, state, rng)
-            assignment_time += time.perf_counter() - started
-            vertices = [v for v in vertices if state.colors[v] == 0]
-            if not vertices:
-                raise SelectionError(
-                    f"{self.name}: selected no uncolored vertices while "
-                    f"{len(state.uncolored())} remain"
-                )
-            if remaining is not None:
-                vertices = vertices[:remaining]
-            self._ask(graph, state, session, vertices, rng)
-            rounds += 1
-        labels = state.pair_labels()
-        fallback_policy = self.error_policy or ErrorPolicy()
-        if self.error_policy is not None:
-            labels.update(resolve_blue_pairs(graph, state, self.error_policy))
-        uncolored = state.uncolored()
-        if uncolored.size:
-            labels.update(
-                resolve_undecided_vertices(graph, state, uncolored, fallback_policy)
-            )
+                if remaining is not None and remaining <= 0:
+                    break
+                guard += 1
+                if guard > 10 * len(graph) + 10:
+                    raise SelectionError(
+                        f"{self.name}: no progress after {guard} iterations"
+                    )
+                with tracer.span("selection.round", round=rounds) as round_span:
+                    propagate_before = self._propagate_seconds
+                    colored_before = len(state.uncolored())
+                    started = time.perf_counter()
+                    vertices = self.select(graph, state, rng)
+                    cover_seconds = time.perf_counter() - started
+                    assignment_time += cover_seconds
+                    vertices = [v for v in vertices if state.colors[v] == 0]
+                    if not vertices:
+                        raise SelectionError(
+                            f"{self.name}: selected no uncolored vertices while "
+                            f"{len(state.uncolored())} remain"
+                        )
+                    if remaining is not None:
+                        vertices = vertices[:remaining]
+                    vertices = obs_instrument.observe_round(
+                        obs, self.name, rounds, vertices, cover_seconds
+                    )
+                    self._ask(graph, state, session, vertices, rng)
+                    newly_colored = colored_before - len(state.uncolored())
+                    round_span.set_attribute("asked", len(vertices))
+                    round_span.set_attribute("colored", newly_colored)
+                    per_round.append(
+                        {
+                            "round": rounds,
+                            "asked": len(vertices),
+                            "colored": newly_colored,
+                            "cover_seconds": cover_seconds,
+                            "propagate_seconds": self._propagate_seconds
+                            - propagate_before,
+                        }
+                    )
+                rounds += 1
+            with tracer.span("selection.settle"):
+                labels = state.pair_labels()
+                fallback_policy = self.error_policy or ErrorPolicy()
+                if self.error_policy is not None:
+                    labels.update(
+                        resolve_blue_pairs(graph, state, self.error_policy)
+                    )
+                uncolored = state.uncolored()
+                if uncolored.size:
+                    labels.update(
+                        resolve_undecided_vertices(
+                            graph, state, uncolored, fallback_policy
+                        )
+                    )
+            run_span.set_attribute("rounds", rounds)
+            run_span.set_attribute("questions", session.questions_asked)
         telemetry = {
             "cover_seconds": assignment_time,
             "propagate_seconds": self._propagate_seconds,
             "rounds": rounds,
             "incremental": self.incremental and graph.reachability is not None,
+            "per_round": per_round,
         }
         engine_stats = self._selection_stats()
         if engine_stats is not None:
             telemetry["engine"] = engine_stats
+        obs_instrument.record_selection_metrics(obs, self.name, telemetry)
         return SelectionResult(
             name=self.name,
             labels=labels,

@@ -39,6 +39,38 @@ from dataclasses import dataclass, field
 
 from ..engine.budget import BudgetGuard
 from ..exceptions import ConfigurationError
+from ..obs import instrument as obs_instrument
+
+
+class _TracedTask:
+    """Picklable wrapper that records a task's spans/metrics in the worker.
+
+    The worker process starts with observability disabled (the coordinator's
+    handle is not inherited through pickling), so the wrapper activates a
+    fresh handle mirroring the coordinator's flags, runs the task under a
+    ``shard.task`` root span, and ships ``(result, spans, registry)`` back.
+    The coordinator grafts the spans **in task order** — completion order
+    never shows in the merged trace — and folds the registries with the
+    order-free metric merge.  Inline execution (``workers=0``, retry
+    fallbacks) goes through the same wrapper, so a fallback task's spans
+    land in the same place a healthy worker's would.
+    """
+
+    __slots__ = ("fn", "tracing", "metrics")
+
+    def __init__(self, fn: Callable, tracing: bool, metrics: bool) -> None:
+        self.fn = fn
+        self.tracing = tracing
+        self.metrics = metrics
+
+    def __call__(self, task):
+        obs = obs_instrument.Observability(
+            tracing=self.tracing, metrics=self.metrics
+        )
+        with obs_instrument.activated(obs):
+            with obs.tracer.span("shard.task"):
+                result = self.fn(task)
+        return result, obs.tracer.export(), obs.registry
 
 
 @dataclass
@@ -180,27 +212,49 @@ class ShardExecutor:
         self.stats.tasks += len(tasks)
         if not tasks:
             return []
+        obs = obs_instrument.current()
+        if obs.enabled:
+            fn = _TracedTask(fn, tracing=obs.tracing, metrics=obs.metrics)
         started = time.perf_counter()
         try:
             if self.workers <= 0:
-                return [self._run_inline(fn, task) for task in tasks]
-            order = sorted(
-                range(len(tasks)),
-                key=lambda index: (
-                    -(weights[index] if weights is not None else 0),
-                    index,
-                ),
-            )
-            futures: dict[int, Future] = {}
-            pool = self._ensure_pool()
-            for index in order:
-                futures[index] = pool.submit(fn, tasks[index])
-            results: list = [None] * len(tasks)
-            for index in order:
-                results[index] = self._collect(fn, tasks, futures, index)
+                results = [self._run_inline(fn, task) for task in tasks]
+            else:
+                order = sorted(
+                    range(len(tasks)),
+                    key=lambda index: (
+                        -(weights[index] if weights is not None else 0),
+                        index,
+                    ),
+                )
+                futures: dict[int, Future] = {}
+                pool = self._ensure_pool()
+                for index in order:
+                    futures[index] = pool.submit(fn, tasks[index])
+                results = [None] * len(tasks)
+                for index in order:
+                    results[index] = self._collect(fn, tasks, futures, index)
+            if obs.enabled:
+                results = self._absorb_traced(obs, results)
             return results
         finally:
             self.stats.run_seconds += time.perf_counter() - started
+
+    def _absorb_traced(self, obs, results: list) -> list:
+        """Unwrap ``_TracedTask`` payloads: graft spans, merge registries.
+
+        Iterating *results* walks tasks in task order, so the grafted trace
+        and the merged registry are identical no matter which worker
+        finished first.
+        """
+        unwrapped = []
+        for index, payload in enumerate(results):
+            result, spans, registry = payload
+            obs.tracer.graft(spans, task=index)
+            if obs.metrics:
+                obs.registry.merge(registry)
+            unwrapped.append(result)
+        return unwrapped
 
     def _run_inline(self, fn: Callable, task) -> object:
         """Inline execution with the same retry budget as the pool path."""

@@ -49,6 +49,7 @@ from ..data.table import Table
 from ..exceptions import ConfigurationError, DataError, SelectionError
 from ..graph.coloring import ColoringState
 from ..graph.dag import OrderedGraph
+from ..obs import instrument as obs_instrument
 from ..selection.base import SelectionResult
 from ..selection.error_tolerant import (
     ErrorPolicy,
@@ -192,11 +193,20 @@ class ShardedResolver(PowerResolver):
         budget: int | None,
     ) -> ResolutionResult:
         timings: dict[str, float] = {}
-        with self._executor() as executor:
+        obs = obs_instrument.current()
+        tracer = obs.tracer
+        with self._executor() as executor, tracer.span(
+            "shard.resolve",
+            dataset=table.name,
+            mode="exact",
+            shards=self.num_shards,
+            workers=self.workers,
+        ):
             # Stage 1: the candidate similarity join, tiled by probe-record
             # ranges (the join dominates large-table wall time).
             started = time.perf_counter()
-            pairs = self._parallel_candidate_pairs(table, executor)
+            with tracer.span("shard.join"):
+                pairs = self._parallel_candidate_pairs(table, executor)
             timings["join"] = time.perf_counter() - started
             if not pairs:
                 raise DataError(
@@ -205,37 +215,45 @@ class ShardedResolver(PowerResolver):
                 )
             # Stage 2: similarity vectors, chunked by pair ranges.
             started = time.perf_counter()
-            similarity = self.similarity_config(table)
-            chunks = [
-                VectorTask(
-                    start=lo,
-                    pairs=tuple(pairs[lo:hi]),
-                    table=table,
-                    config=similarity,
-                    use_batch=self.config.use_batch_similarity,
+            with tracer.span("shard.vectors", pairs=len(pairs)):
+                similarity = self.similarity_config(table)
+                chunks = [
+                    VectorTask(
+                        start=lo,
+                        pairs=tuple(pairs[lo:hi]),
+                        table=table,
+                        config=similarity,
+                        use_batch=self.config.use_batch_similarity,
+                    )
+                    for lo, hi in vertex_slices(len(pairs), self.num_shards)
+                ]
+                vectors = merge_vector_chunks(
+                    executor.run(
+                        compute_vectors, chunks, weights=[len(c.pairs) for c in chunks]
+                    )
                 )
-                for lo, hi in vertex_slices(len(pairs), self.num_shards)
-            ]
-            vectors = merge_vector_chunks(
-                executor.run(
-                    compute_vectors, chunks, weights=[len(c.pairs) for c in chunks]
-                )
-            )
             timings["vectors"] = time.perf_counter() - started
 
             # Stage 3: the (grouped) graph, with adjacency built in
             # parallel row blocks and attached to the graph's cache.
             started = time.perf_counter()
-            graph = self.build_graph(table, pairs, vectors=vectors)
-            self._attach_parallel_adjacency(graph, executor)
+            with tracer.span("shard.graph"):
+                graph = self.build_graph(table, pairs, vectors=vectors)
+                self._attach_parallel_adjacency(graph, executor)
             timings["graph"] = time.perf_counter() - started
 
             # Stage 4: the lockstep selection loop.
             if session is None:
                 session = self.simulated_crowd(table, pairs, worker_band).session()
             started = time.perf_counter()
-            selection = self._run_lockstep(graph, session, executor, budget)
+            with tracer.span("shard.selection"):
+                selection = self._run_lockstep(graph, session, executor, budget)
             timings["selection"] = time.perf_counter() - started
+            for stage, seconds in timings.items():
+                obs_instrument.record_stage_seconds(
+                    obs, f"shard.{stage}", seconds, dataset=table.name
+                )
+            obs_instrument.record_executor_stats(obs, executor.stats.as_dict())
             selection.extras["shard"] = {
                 "mode": "exact",
                 "shards": self.num_shards,
@@ -362,6 +380,8 @@ class ShardedResolver(PowerResolver):
         """
         if budget is not None and budget < 0:
             raise SelectionError(f"budget must be >= 0, got {budget}")
+        obs = obs_instrument.current()
+        tracer = obs.tracer
         selector = self.make_selector()
         selector.reset()
         rng = np.random.default_rng(selector.seed)
@@ -374,7 +394,10 @@ class ShardedResolver(PowerResolver):
             else None
         )
         assignment_time = 0.0
+        propagate_seconds = 0.0
+        rounds = 0
         guard = 0
+        per_round: list[dict] = []
         while not state.is_complete():
             remaining = None if budget is None else budget - session.questions_asked
             if remaining is not None and remaining <= 0:
@@ -384,29 +407,54 @@ class ShardedResolver(PowerResolver):
                 raise SelectionError(
                     f"{selector.name}: no progress after {guard} iterations"
                 )
-            timer = time.perf_counter()
-            vertices = selector.select(graph, state, rng)
-            assignment_time += time.perf_counter() - timer
-            vertices = [v for v in vertices if state.colors[v] == 0]
-            if not vertices:
-                raise SelectionError(
-                    f"{selector.name}: selected no uncolored vertices while "
-                    f"{len(state.uncolored())} remain"
+            with tracer.span("selection.round", round=rounds) as round_span:
+                colored_before = len(state.uncolored())
+                timer = time.perf_counter()
+                vertices = selector.select(graph, state, rng)
+                cover_seconds = time.perf_counter() - timer
+                assignment_time += cover_seconds
+                vertices = [v for v in vertices if state.colors[v] == 0]
+                if not vertices:
+                    raise SelectionError(
+                        f"{selector.name}: selected no uncolored vertices while "
+                        f"{len(state.uncolored())} remain"
+                    )
+                if remaining is not None:
+                    vertices = vertices[:remaining]
+                vertices = obs_instrument.observe_round(
+                    obs, selector.name, rounds, vertices, cover_seconds
                 )
-            if remaining is not None:
-                vertices = vertices[:remaining]
-            questions = {
-                vertex: graph.representative_pair(vertex, rng) for vertex in vertices
-            }
-            answers = session.ask_batch(questions.values())
-            answered: list[tuple[int, bool | None]] = []
-            for vertex, pair in questions.items():
-                outcome = answers[pair]
-                if threshold is not None and outcome.confidence < threshold:
-                    answered.append((vertex, None))
-                else:
-                    answered.append((vertex, bool(outcome.answer)))
-            self._propagate_batch(graph, state, executor, operands, slices, answered)
+                questions = {
+                    vertex: graph.representative_pair(vertex, rng)
+                    for vertex in vertices
+                }
+                answers = session.ask_batch(questions.values())
+                answered: list[tuple[int, bool | None]] = []
+                for vertex, pair in questions.items():
+                    outcome = answers[pair]
+                    if threshold is not None and outcome.confidence < threshold:
+                        answered.append((vertex, None))
+                    else:
+                        answered.append((vertex, bool(outcome.answer)))
+                timer = time.perf_counter()
+                self._propagate_batch(
+                    graph, state, executor, operands, slices, answered
+                )
+                round_propagate = time.perf_counter() - timer
+                propagate_seconds += round_propagate
+                newly_colored = colored_before - len(state.uncolored())
+                round_span.set_attribute("asked", len(vertices))
+                round_span.set_attribute("colored", newly_colored)
+                per_round.append(
+                    {
+                        "round": rounds,
+                        "asked": len(vertices),
+                        "colored": newly_colored,
+                        "cover_seconds": cover_seconds,
+                        "propagate_seconds": round_propagate,
+                    }
+                )
+            rounds += 1
         labels = state.pair_labels()
         fallback_policy = selector.error_policy or ErrorPolicy()
         if selector.error_policy is not None:
@@ -416,6 +464,17 @@ class ShardedResolver(PowerResolver):
             labels.update(
                 resolve_undecided_vertices(graph, state, uncolored, fallback_policy)
             )
+        telemetry = {
+            "cover_seconds": assignment_time,
+            "propagate_seconds": propagate_seconds,
+            "rounds": rounds,
+            "incremental": selector.incremental and graph.reachability is not None,
+            "per_round": per_round,
+        }
+        engine_stats = selector._selection_stats()
+        if engine_stats is not None:
+            telemetry["engine"] = engine_stats
+        obs_instrument.record_selection_metrics(obs, selector.name, telemetry)
         return SelectionResult(
             name=selector.name,
             labels=labels,
@@ -424,6 +483,7 @@ class ShardedResolver(PowerResolver):
             assignment_time=assignment_time,
             state=state,
             cost_cents=session.cost_cents,
+            extras={"selection": telemetry},
         )
 
     def _propagate_batch(
@@ -532,12 +592,20 @@ class ShardedResolver(PowerResolver):
             )
             for index, shard in enumerate(plan.shards)
         ]
+        obs = obs_instrument.current()
         started = time.perf_counter()
-        with self._executor() as executor:
+        with self._executor() as executor, obs.tracer.span(
+            "shard.resolve",
+            dataset=table.name,
+            mode="independent",
+            shards=len(plan),
+            workers=self.workers,
+        ):
             outcomes = executor.run(
                 resolve_shard, tasks, weights=[len(task.pairs) for task in tasks]
             )
             stats = executor.stats.as_dict()
+            obs_instrument.record_executor_stats(obs, stats)
         timings["shards"] = time.perf_counter() - started
         selection = merge_independent_outcomes(
             outcomes,

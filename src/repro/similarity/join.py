@@ -17,6 +17,7 @@ from collections.abc import Sequence
 from ..data.ground_truth import Pair
 from ..data.table import Table
 from ..exceptions import ConfigurationError
+from ..obs import instrument as obs_instrument
 from .edit import edit_distance_within
 from .jaccard import jaccard
 from .tokenize import qgram_tokens, word_tokens
@@ -69,17 +70,28 @@ def similar_pairs(
         if method not in JOIN_METHODS:
             raise ConfigurationError(f"unknown join method {method!r}")
         return []
-    token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
-    if method == "naive":
-        pairs = _naive_join(token_sets, threshold)
-    elif method == "prefix":
-        pairs = _prefix_join(token_sets, threshold)
-    elif method == "sparse":
-        from .batch import sparse_jaccard_join
+    obs = obs_instrument.current()
+    with obs.tracer.span(
+        "join.similar_pairs", method=method, records=len(table)
+    ) as span:
+        token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
+        if method == "naive":
+            pairs = _naive_join(token_sets, threshold)
+        elif method == "prefix":
+            pairs = _prefix_join(token_sets, threshold)
+        elif method == "sparse":
+            from .batch import sparse_jaccard_join
 
-        pairs = sparse_jaccard_join(token_sets, threshold)
-    else:
-        raise ConfigurationError(f"unknown join method {method!r}")
+            pairs = sparse_jaccard_join(token_sets, threshold)
+        else:
+            raise ConfigurationError(f"unknown join method {method!r}")
+        span.set_attribute("pairs", len(pairs))
+    if obs.metrics:
+        obs.registry.counter(
+            "repro_join_candidate_pairs_total",
+            "candidate pairs emitted by the pruning join",
+            method=method,
+        ).inc(len(pairs))
     return sorted(pairs)
 
 

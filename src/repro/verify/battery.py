@@ -202,6 +202,13 @@ def _synthetic_sweeps(config: BatteryConfig, report: VerificationReport) -> None
                 p, v, seed=s
             ),
         )
+        run_check(
+            report,
+            f"observability-transparent[power, seed={seed}]",
+            lambda p=pairs, v=vectors, s=seed: (
+                oracles.check_observability_transparent("power", p, v, seed=s)
+            ),
+        )
 
 
 def _billing_and_crowd(config: BatteryConfig, report: VerificationReport) -> None:
@@ -302,6 +309,14 @@ def _dataset_checks(config: BatteryConfig, report: VerificationReport) -> None:
         f"shard-equivalence[{table.name}]",
         lambda: oracles.check_shard_equivalence(
             table, seed=config.base_seed, shard_counts=(2, 4)
+        ),
+    )
+
+    run_check(
+        report,
+        f"observability-transparent[{table.name}]",
+        lambda: oracles.check_observability_transparent_table(
+            table, seed=config.base_seed
         ),
     )
 

@@ -18,6 +18,7 @@ mutant                  seeded bug
 ``weight-blind-votes``  weighted aggregation ignores worker accuracies
 ``shard-merge-drop``    the shard merge drops every slice's votes but one
 ``stale-matching``      deleting a matched vertex leaves its partner claimed
+``obs-perturbs-selection``  instrumentation drops a vertex from each round
 ======================  ====================================================
 
 Patching is done by rebinding module/class attributes inside a context
@@ -253,6 +254,32 @@ def _mutant_stale_matching():
     return _patched((IncrementalPathCover, "_release_deleted", mutated))
 
 
+def _mutant_obs_perturbs_selection():
+    """Observability stops being read-only: it drops a vertex per round.
+
+    Models the instrumentation bug the transparency contract exists for — a
+    hook that *steers* the run instead of observing it.  The perturbation
+    fires only when observability is enabled, so every obs-off check in the
+    battery sails through; only ``check_observability_transparent`` (the one
+    step that runs the pipeline under an active handle and compares it
+    against the plain run) can catch it — proving that check has teeth.
+    Both call sites (``selection.base``, ``shard.resolver``) import the
+    :mod:`repro.obs.instrument` *module*, so patching the defining module's
+    attribute reaches them all.
+    """
+    from ..obs import instrument as obs_instrument
+
+    original = obs_instrument.observe_round
+
+    def mutated(obs, selector_name, round_index, vertices, cover_seconds):
+        vertices = original(obs, selector_name, round_index, vertices, cover_seconds)
+        if obs.enabled and len(vertices) > 1:
+            return vertices[:-1]  # bug: instrumentation steers the run
+        return vertices
+
+    return _patched((obs_instrument, "observe_round", mutated))
+
+
 MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         "drop-dominance-edge",
@@ -298,6 +325,11 @@ MUTANTS: tuple[Mutant, ...] = (
         "stale-matching",
         "deleting a matched vertex leaves its matched partner claimed",
         _mutant_stale_matching,
+    ),
+    Mutant(
+        "obs-perturbs-selection",
+        "enabled instrumentation drops a vertex from every selection round",
+        _mutant_obs_perturbs_selection,
     ),
 )
 
@@ -381,6 +413,11 @@ def run_detection_battery(seed: int = 0) -> None:
     oracles.check_shard_equivalence(
         _battery_table(), seed=seed, shard_counts=(2, 3)
     )
+
+    # Observability transparency: the only step that runs with an active
+    # obs handle, hence the only one able to catch instrumentation that
+    # perturbs the run (the obs-perturbs-selection mutant).
+    oracles.check_observability_transparent("power", pairs, vectors, seed=seed)
 
 
 def run_mutation_selftest(seed: int = 0) -> VerificationReport:

@@ -784,3 +784,152 @@ def check_shard_equivalence(
                     f"shard-equivalence[{label}]: final colors diverge at "
                     f"vertex {vertex}"
                 )
+
+
+# --------------------------------------------------------------------------- #
+# Observability-transparency differential
+# --------------------------------------------------------------------------- #
+
+
+def _compare_runs(label: str, plain: SelectionResult, observed: SelectionResult) -> None:
+    """Demand two selector runs are byte-identical in every semantic field."""
+    if plain.state is not None and observed.state is not None:
+        if plain.state.asked_order != observed.state.asked_order:
+            length = min(
+                len(plain.state.asked_order), len(observed.state.asked_order)
+            )
+            step = next(
+                (
+                    i
+                    for i in range(length)
+                    if plain.state.asked_order[i] != observed.state.asked_order[i]
+                ),
+                length,
+            )
+            raise VerificationError(
+                f"{label}: question transcript diverges at step {step}: "
+                f"plain {plain.state.asked_order[step : step + 3]} vs observed "
+                f"{observed.state.asked_order[step : step + 3]}"
+            )
+        if not np.array_equal(plain.state.colors, observed.state.colors):
+            vertex = int(
+                np.flatnonzero(plain.state.colors != observed.state.colors)[0]
+            )
+            raise VerificationError(f"{label}: final colors diverge at vertex {vertex}")
+    if plain.labels != observed.labels:
+        diff = [
+            pair
+            for pair in set(plain.labels) | set(observed.labels)
+            if plain.labels.get(pair) != observed.labels.get(pair)
+        ][:5]
+        raise VerificationError(f"{label}: labels diverge (e.g. {diff})")
+    for field in ("questions", "iterations", "cost_cents"):
+        if getattr(plain, field) != getattr(observed, field):
+            raise VerificationError(
+                f"{label}: {field} diverges: plain {getattr(plain, field)} vs "
+                f"observed {getattr(observed, field)}"
+            )
+
+
+def check_observability_transparent(
+    selector_name: str,
+    pairs: Sequence[Pair],
+    vectors: np.ndarray,
+    seed: int,
+    epsilon: float | None = None,
+    band: str | None = None,
+) -> None:
+    """Instrumentation must be invisible: obs on and off, identical runs.
+
+    The same selector (same seed, fresh graph and crowd per side) runs once
+    with observability disabled and once under a fully enabled
+    :class:`~repro.obs.Observability` (tracing + metrics).  The question
+    transcript, final coloring, labels, question/iteration counts, and the
+    bill must be byte-identical — the observability hooks' contract is to
+    *read* the pipeline, never steer it.  The run with instrumentation on
+    must also actually produce spans and metrics, so a silently-disabled
+    tracer cannot make the check vacuous.
+
+    The ``obs-perturbs-selection`` mutation mutant attacks exactly the
+    :func:`~repro.obs.instrument.observe_round` seam this check certifies;
+    no other battery step runs with observability enabled, so only this
+    check can catch it — proving it has teeth.
+    """
+    from ..obs import Observability, activated
+    from ..obs.trace import structure
+
+    vectors = np.asarray(vectors, dtype=np.float64)
+    truth = _pair_truth_from_vertices(pairs, monotone_truth(vectors))
+
+    def build() -> OrderedGraph:
+        base = PairGraph(pairs, vectors)
+        if epsilon is None:
+            return base
+        from ..graph.grouping import split_grouping
+
+        return GroupedGraph(base, split_grouping(vectors, epsilon))
+
+    plain = _run_selector(selector_name, build(), truth, seed, band=band)
+    obs = Observability(tracing=True, metrics=True)
+    with activated(obs):
+        observed = _run_selector(selector_name, build(), truth, seed, band=band)
+    label = (
+        f"observability-transparent[{selector_name}] seed={seed} "
+        f"epsilon={epsilon}"
+    )
+    _compare_runs(label, plain, observed)
+    spans = obs.tracer.export()
+    names = [name for _, name in structure(spans)]
+    if "selection.run" not in names:
+        raise VerificationError(
+            f"{label}: the instrumented run produced no selection.run span "
+            f"(got {sorted(set(names))}) — the transparency check would be "
+            "vacuous"
+        )
+    if not obs.registry.family("repro_selection_rounds_total"):
+        raise VerificationError(
+            f"{label}: the instrumented run recorded no selection metrics — "
+            "the transparency check would be vacuous"
+        )
+
+
+def check_observability_transparent_table(
+    table: Table, seed: int = 0, worker_band: str = "90"
+) -> None:
+    """End-to-end transparency: a full resolve with obs on equals obs off.
+
+    Same contract as :func:`check_observability_transparent`, but through
+    :meth:`~repro.core.resolver.PowerResolver.resolve` on a real table —
+    covering the join, vectorize, construct, and cluster stage hooks as
+    well as the selection loop.
+    """
+    from ..core.config import PowerConfig
+    from ..core.resolver import PowerResolver
+    from ..obs import Observability, activated
+
+    plain = PowerResolver(PowerConfig(seed=seed)).resolve(
+        table, worker_band=worker_band
+    )
+    obs = Observability(tracing=True, metrics=True)
+    with activated(obs):
+        observed = PowerResolver(PowerConfig(seed=seed)).resolve(
+            table, worker_band=worker_band
+        )
+    label = f"observability-transparent[resolve] table={table.name!r} seed={seed}"
+    _compare_runs(label, plain.selection, observed.selection)
+    if plain.matches != observed.matches:
+        raise VerificationError(
+            f"{label}: match sets diverge: "
+            f"{len(observed.matches - plain.matches)} extra, "
+            f"{len(plain.matches - observed.matches)} missing"
+        )
+    if plain.clusters != observed.clusters:
+        raise VerificationError(
+            f"{label}: clusters diverge "
+            f"({len(observed.clusters)} vs {len(plain.clusters)})"
+        )
+    if not obs.tracer.export():
+        raise VerificationError(
+            f"{label}: the instrumented resolve produced no trace — the "
+            "transparency check would be vacuous"
+        )

@@ -1,0 +1,221 @@
+"""Property tests for the metrics registry: bucketing and merge laws.
+
+The shard coordinator folds worker registries together in completion
+order; the exported numbers must not depend on that order.  Hypothesis
+pins the algebra that guarantees it — merge is associative, commutative,
+and has the empty registry as identity — plus the histogram bucketing
+contract (every observation lands in exactly one bucket, chosen by the
+documented ``v <= edge`` rule).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ObservabilityError
+from repro.obs import (
+    COUNT_BOUNDARIES,
+    Histogram,
+    MetricsRegistry,
+    SECONDS_BOUNDARIES,
+)
+
+EDGES = (0.5, 1.0, 5.0)
+
+values = st.floats(
+    min_value=-10.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+# Merge-law sweeps use dyadic rationals (n/4): counter/histogram merges add
+# floats, and float addition is only associative when every intermediate
+# sum is exactly representable.  The laws are about merge *structure*, not
+# IEEE rounding, so the strategy keeps arithmetic exact.
+exact_values = st.integers(min_value=-40, max_value=4000).map(lambda n: n / 4)
+
+
+def build_registry(spec: list[tuple[str, float]]) -> MetricsRegistry:
+    """A registry from a compact ``(instrument, value)`` recipe.
+
+    ``c:*`` counters, ``g:*`` gauges, ``h:*`` histograms — shared names
+    across recipes so merged registries overlap the way shard slices do.
+    """
+    registry = MetricsRegistry()
+    for name, value in spec:
+        if name.startswith("c:"):
+            registry.counter(name[2:]).inc(abs(value))
+        elif name.startswith("g:"):
+            registry.gauge(name[2:]).set(value)
+        else:
+            registry.histogram(name[2:], boundaries=EDGES).observe(value)
+    return registry
+
+
+recipes = st.lists(
+    st.tuples(
+        st.sampled_from(["c:questions", "c:rounds", "g:peak", "h:batch"]),
+        exact_values,
+    ),
+    max_size=12,
+)
+
+
+class TestHistogramBucketing:
+    @given(values)
+    def test_every_observation_lands_in_exactly_one_bucket(self, value):
+        histogram = Histogram("h", boundaries=EDGES)
+        histogram.observe(value)
+        assert sum(histogram.bucket_counts) == 1
+        assert len(histogram.bucket_counts) == len(EDGES) + 1
+
+    @given(values)
+    def test_bucket_choice_matches_the_documented_rule(self, value):
+        histogram = Histogram("h", boundaries=EDGES)
+        histogram.observe(value)
+        expected = next(
+            (i for i, edge in enumerate(EDGES) if value <= edge), len(EDGES)
+        )
+        assert histogram.bucket_counts[expected] == 1
+
+    @given(st.lists(values, min_size=1, max_size=30))
+    def test_count_sum_min_max_track_the_stream(self, stream):
+        histogram = Histogram("h", boundaries=EDGES)
+        for value in stream:
+            histogram.observe(value)
+        assert histogram.count == len(stream)
+        assert histogram.sum == pytest.approx(sum(stream))
+        assert histogram.min == min(stream)
+        assert histogram.max == max(stream)
+        assert histogram.mean == pytest.approx(sum(stream) / len(stream))
+
+    def test_boundaries_must_be_strictly_increasing(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", boundaries=(1.0, 1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", boundaries=())
+
+    @given(st.lists(values, max_size=20), st.lists(values, max_size=20))
+    def test_merge_equals_observing_the_concatenated_stream(self, a, b):
+        left, right, both = (Histogram("h", boundaries=EDGES) for _ in range(3))
+        for value in a:
+            left.observe(value)
+        for value in b:
+            right.observe(value)
+        for value in a + b:
+            both.observe(value)
+        left.merge(right)
+        assert left.bucket_counts == both.bucket_counts
+        assert left.count == both.count
+        assert left.sum == pytest.approx(both.sum)
+
+    def test_merge_rejects_boundary_mismatch(self):
+        left = Histogram("h", boundaries=(1.0, 2.0))
+        right = Histogram("h", boundaries=(1.0, 3.0))
+        with pytest.raises(ObservabilityError, match="boundary mismatch"):
+            left.merge(right)
+
+
+class TestMergeLaws:
+    @settings(max_examples=50)
+    @given(recipes, recipes)
+    def test_commutative(self, a, b):
+        ab = build_registry(a)
+        ab.merge(build_registry(b))
+        ba = build_registry(b)
+        ba.merge(build_registry(a))
+        assert ab.snapshot() == ba.snapshot()
+
+    @settings(max_examples=50)
+    @given(recipes, recipes, recipes)
+    def test_associative(self, a, b, c):
+        left = build_registry(a)
+        bc = build_registry(b)
+        bc.merge(build_registry(c))
+        left.merge(bc)
+
+        right = build_registry(a)
+        right.merge(build_registry(b))
+        right.merge(build_registry(c))
+        assert left.snapshot() == right.snapshot()
+
+    @given(recipes)
+    def test_empty_registry_is_the_identity(self, a):
+        merged = build_registry(a)
+        merged.merge(MetricsRegistry())
+        assert merged.snapshot() == build_registry(a).snapshot()
+
+        onto_empty = MetricsRegistry()
+        onto_empty.merge(build_registry(a))
+        assert onto_empty.snapshot() == build_registry(a).snapshot()
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(recipes, min_size=2, max_size=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_shard_completion_order_cannot_show(self, shards, rng):
+        """Folding worker registries in any permutation gives one snapshot."""
+        in_order = MetricsRegistry()
+        for shard in shards:
+            in_order.merge(build_registry(shard))
+
+        shuffled = list(shards)
+        rng.shuffle(shuffled)
+        out_of_order = MetricsRegistry()
+        for shard in shuffled:
+            out_of_order.merge(build_registry(shard))
+        assert in_order.snapshot() == out_of_order.snapshot()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.counter("c", selector="a") is not registry.counter(
+            "c", selector="b"
+        )
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("c")
+
+    def test_histogram_boundary_rerequest_must_match(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=SECONDS_BOUNDARIES)
+        with pytest.raises(ObservabilityError, match="different boundaries"):
+            registry.histogram("h", boundaries=COUNT_BOUNDARIES)
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_merge_keeps_the_maximum(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("g").set(3)
+        right.gauge("g").set(7)
+        left.merge(right)
+        assert left.gauge("g").value == 7
+
+    def test_family_lists_label_variants_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("rounds", selector="single-path").inc()
+        registry.counter("rounds", selector="power").inc(2)
+        family = registry.family("rounds")
+        assert [dict(m.labels)["selector"] for m in family] == [
+            "power", "single-path",
+        ]
+
+    def test_registry_survives_pickling(self):
+        """Shard workers ship their registry through the process pool."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.histogram("h", boundaries=EDGES).observe(0.7)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.snapshot() == registry.snapshot()
+        clone.counter("c").inc()  # the recreated lock still works
+        assert clone.counter("c").value == 5

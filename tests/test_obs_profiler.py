@@ -1,0 +1,77 @@
+"""Tests for the opt-in sampling profiler (POSIX ``ITIMER_PROF`` only)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import SamplingProfiler
+from repro.obs.profiler import SUPPORTED
+
+pytestmark = pytest.mark.skipif(
+    not SUPPORTED, reason="needs signal.setitimer/SIGPROF (POSIX)"
+)
+
+
+def burn_cpu(seconds: float = 0.15) -> int:
+    """A recognizable hot function the profiler should attribute."""
+    import time
+
+    total = 0
+    deadline = time.process_time() + seconds
+    while time.process_time() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_samples_attribute_cpu_to_the_hot_function(self):
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            burn_cpu()
+        assert profiler.samples > 0
+        report = profiler.report()
+        assert "burn_cpu" in report
+        assert "self%" in report or "%" in report
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            burn_cpu(0.05)
+        payload = profiler.as_dict()
+        assert payload["samples"] == profiler.samples
+        assert payload["interval_seconds"] == 0.002
+        assert all(isinstance(key, str) for key in payload["self"])
+        json.dumps(payload)  # JSON-ready, no exotic keys or values
+
+    def test_stop_is_idempotent_and_restores_the_handler(self):
+        import signal
+
+        before = signal.getsignal(signal.SIGPROF)
+        profiler = SamplingProfiler(interval=0.002)
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert signal.getsignal(signal.SIGPROF) == before
+
+    def test_start_off_the_main_thread_is_rejected(self):
+        caught = []
+
+        def worker():
+            try:
+                SamplingProfiler().start()
+            except ObservabilityError as error:
+                caught.append(error)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert caught and "main thread" in str(caught[0])
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(interval=0.0)
