@@ -35,6 +35,16 @@
 #                       benchmarks/results/BENCH_obs.json
 #   make bench-obs-smoke - <60s smoke of the same with relaxed percentage
 #                       bars (tiny workloads make relative overhead noise)
+#   make stream-smoke - <5s streaming CLI smoke: ingest the restaurant
+#                       dataset in checkpointed batches, then resume the
+#                       same snapshot directory and finish the stream
+#   make bench-stream - streaming-ingest benchmark: incremental resolution
+#                       vs re-resolve-per-batch and index extend vs rebuild
+#                       (bit-equivalence asserted while timing); enforces
+#                       the 3x floors and refreshes
+#                       benchmarks/results/BENCH_stream.json
+#   make bench-stream-smoke - <60s smoke of the same; the gates only
+#                       require the incremental paths not to lose
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -42,9 +52,9 @@ export PYTHONPATH := src
 # Minimum acceptable line coverage (percent) for `make coverage`.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: check test engine-smoke shard-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke bench-obs bench-obs-smoke
+.PHONY: check test engine-smoke shard-smoke stream-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke bench-obs bench-obs-smoke bench-stream bench-stream-smoke
 
-check: test engine-smoke shard-smoke bench-selection-smoke bench-obs-smoke verify coverage lint
+check: test engine-smoke shard-smoke stream-smoke bench-selection-smoke bench-obs-smoke bench-stream-smoke verify coverage lint
 
 test:
 	$(PYTHON) -m pytest -q
@@ -99,3 +109,27 @@ bench-obs:
 
 bench-obs-smoke:
 	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py --check
+
+# Scratch directory for the streaming CLI smoke (wiped before and after).
+STREAM_SMOKE_DIR ?= .stream-smoke
+
+stream-smoke:
+	@rm -rf $(STREAM_SMOKE_DIR) && mkdir -p $(STREAM_SMOKE_DIR)
+	$(PYTHON) -m repro generate restaurant $(STREAM_SMOKE_DIR)/records.csv
+	$(PYTHON) -m repro stream $(STREAM_SMOKE_DIR)/records.csv --batch-size 200 \
+		--checkpoint-dir $(STREAM_SMOKE_DIR)/ck --max-batches 2
+	$(PYTHON) -m repro stream $(STREAM_SMOKE_DIR)/records.csv --batch-size 200 \
+		--checkpoint-dir $(STREAM_SMOKE_DIR)/ck --resume
+	@rm -rf $(STREAM_SMOKE_DIR)
+
+bench-stream:
+	$(PYTHON) benchmarks/bench_stream_ingest.py --check
+
+# The smoke writes outside benchmarks/results/ on purpose: the committed
+# BENCH_stream.json holds full-run numbers and fast-mode timings must not
+# clobber it.
+STREAM_SMOKE_OUT ?= /tmp/BENCH_stream_smoke.json
+
+bench-stream-smoke:
+	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_stream_ingest.py --check \
+		--out $(STREAM_SMOKE_OUT)

@@ -333,6 +333,41 @@ def _build_parser() -> argparse.ArgumentParser:
                             "sharded result is identical (exact mode only)")
     _add_obs_arguments(shard)
 
+    stream = commands.add_parser(
+        "stream",
+        help="durable streaming resolution with checkpoint/restore",
+        description=(
+            "Feed a labeled CSV through repro.stream.StreamingResolver in "
+            "record batches: each batch is resolved incrementally (only "
+            "new-vs-old and new-vs-new candidate pairs are ever asked), and "
+            "with --checkpoint-dir every completed batch is snapshotted to "
+            "a versioned, content-addressed checkpoint.  A killed run "
+            "resumes with --resume from the last complete batch — "
+            "bit-identically, without re-asking any paid pair."
+        ),
+    )
+    stream.add_argument("input", type=Path,
+                        help="CSV with an entity_id column (the simulated "
+                             "crowd's ground truth)")
+    stream.add_argument("--batch-size", type=int, default=50,
+                        help="records ingested per batch")
+    stream.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="snapshot directory; one checkpoint is "
+                             "written after every batch")
+    stream.add_argument("--resume", action="store_true",
+                        help="restore from --checkpoint-dir and continue "
+                             "the stream from the last complete batch")
+    stream.add_argument("--max-batches", type=int, default=None,
+                        help="stop after this many (new) batches")
+    stream.add_argument("--band", default="90", choices=["70", "80", "90"],
+                        help="simulated worker accuracy band")
+    stream.add_argument("--shard-threshold", type=int, default=None,
+                        help="route a batch's similarity vectors through "
+                             "the shard executor when it has at least this "
+                             "many candidate pairs")
+    stream.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(stream)
+
     trace = commands.add_parser(
         "trace",
         help="render a span trace recorded with --trace",
@@ -523,6 +558,73 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _command_stream(args) -> int:
+    from .exceptions import DataError
+    from .stream import StreamingResolver
+
+    table = load_csv(args.input)
+    if not table.has_ground_truth():
+        print(
+            "stream needs an entity_id column to simulate the crowd; "
+            "for a real crowd, use the library API with your own session",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume:
+        if args.checkpoint_dir is None:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        resolver = StreamingResolver.restore(args.checkpoint_dir)
+        if tuple(resolver.table.attributes) != tuple(table.attributes):
+            raise DataError(
+                f"checkpoint schema {resolver.table.attributes} does not "
+                f"match {args.input}'s columns {table.attributes}"
+            )
+        print(
+            f"resumed from batch {resolver.batches} "
+            f"({len(resolver.table)} records, "
+            f"{resolver.total_questions} questions already paid)"
+        )
+    else:
+        resolver = StreamingResolver(
+            table.attributes,
+            config=PowerConfig(seed=args.seed),
+            name=table.name,
+            checkpoint_dir=args.checkpoint_dir,
+            worker_band=args.band,
+            shard_threshold=args.shard_threshold,
+        )
+    offset = len(resolver.table)
+    records = table.records[offset:]
+    ran = 0
+    with _observed(args):
+        for start in range(0, len(records), args.batch_size):
+            if args.max_batches is not None and ran >= args.max_batches:
+                break
+            chunk = records[start : start + args.batch_size]
+            report = resolver.add_batch(
+                [record.values for record in chunk],
+                entity_ids=[record.entity_id for record in chunk],
+            )
+            line = (
+                f"batch {report['batch']}: +{report['new_records']} records, "
+                f"{report['new_pairs']} pairs, {report['questions']} "
+                f"questions, clusters={report['clusters']}"
+            )
+            if args.checkpoint_dir is not None:
+                checkpoint = resolver.checkpoint()
+                line += f", checkpoint {checkpoint['state_sha'][:12]}"
+            print(line)
+            ran += 1
+    if ran == 0:
+        print("no new records to ingest")
+    print(resolver.summary())
+    return 0
+
+
 def _command_trace(args) -> int:
     import json
 
@@ -647,6 +749,7 @@ def main(argv=None) -> int:
         "experiment": _command_experiment,
         "verify": _command_verify,
         "shard": _command_shard,
+        "stream": _command_stream,
         "trace": _command_trace,
     }
     try:

@@ -25,6 +25,7 @@ cost advantage compounds because the old×old pairs are never revisited.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -51,6 +52,12 @@ class IncrementalResolver:
         config: pipeline configuration (same knobs as
             :class:`~repro.core.resolver.PowerResolver`).
         name: dataset name stored on the internal table.
+        index_mode: ``"extend"`` (default) maintains the token index
+            incrementally through :meth:`TokenIndex.extend` — O(new) work
+            per batch; ``"rebuild"`` re-interns every record seen so far on
+            each batch — the O(all) reference the streaming benchmark
+            measures the extend path against.  Both produce bit-identical
+            candidate sweeps.
     """
 
     def __init__(
@@ -58,11 +65,17 @@ class IncrementalResolver:
         attributes: Sequence[str],
         config: PowerConfig | None = None,
         name: str = "stream",
+        index_mode: str = "extend",
     ) -> None:
+        if index_mode not in ("extend", "rebuild"):
+            raise ConfigurationError(
+                f"index_mode must be 'extend' or 'rebuild', got {index_mode!r}"
+            )
         self.config = config or PowerConfig()
         self.table = Table(name=name, attributes=tuple(attributes))
         self._resolver = PowerResolver(self.config)
         self._index: TokenIndex | None = None
+        self.index_mode = index_mode
         self.labels: dict[Pair, bool] = {}
         self.total_questions = 0
         self.total_iterations = 0
@@ -73,23 +86,35 @@ class IncrementalResolver:
     # Candidate generation (incremental similarity join)
     # ------------------------------------------------------------------ #
 
-    def _rebuild_index(self) -> None:
-        """Refresh the packed token bit-matrix over every record seen so far.
+    def _tokenizer(self):
+        return qgram_tokens if self.config.join_tokens == "qgram" else word_tokens
 
-        :class:`~repro.similarity.batch.TokenIndex` is a batch structure —
-        dense token ids, one packed row per distinct string — so the stream
-        maintains it by rebuilding after each batch.  The rebuild is pure
-        vectorized interning/packing (no crowd work, no similarity calls)
-        and is negligible next to the questions the batch triggers.
+    def _rebuild_index(self) -> None:
+        """Re-intern the packed token bit-matrix over every record so far.
+
+        The original maintenance strategy, kept as the from-scratch
+        reference: per batch it re-tokenizes all N records, so a K-batch
+        stream pays O(K·N) interning — quadratic in the stream length.
+        :meth:`_extend_index` replaces it on the hot path; the two are
+        bit-identical (extend assigns the same unique-row and token ids the
+        full rebuild would).
         """
-        tokenizer = (
-            qgram_tokens if self.config.join_tokens == "qgram" else word_tokens
-        )
         texts = [
             self.table.record_text(record_id)
             for record_id in range(len(self.table))
         ]
-        self._index = TokenIndex(texts, tokenizer)
+        self._index = TokenIndex(texts, self._tokenizer())
+
+    def _extend_index(self, new_ids: Sequence[int]) -> None:
+        """Fold just the new records into the live token index, O(new)."""
+        if self._index is None:
+            # First batch (or a restored resolver without its index): build
+            # over everything seen so far, which the extends then grow.
+            self._rebuild_index()
+            return
+        self._index.extend(
+            [self.table.record_text(record_id) for record_id in new_ids]
+        )
 
     def _candidates_for(self, record_id: int) -> list[Pair]:
         """Earlier records whose record-level Jaccard clears the threshold.
@@ -154,24 +179,30 @@ class IncrementalResolver:
                 tuple(str(value) for value in row), entity_id=entity
             )
             new_ids.append(record.record_id)
-        self._rebuild_index()
+        ingest_started = time.perf_counter()
+        if self.index_mode == "rebuild":
+            self._rebuild_index()
+        else:
+            self._extend_index(new_ids)
+        index_seconds = time.perf_counter() - ingest_started
 
         pairs: list[Pair] = []
         for record_id in new_ids:
             pairs.extend(self._candidates_for(record_id))
         pairs = sorted(set(pairs))
+        ingest_seconds = time.perf_counter() - ingest_started
         report = {
             "batch": self.batches + 1,
             "new_records": len(new_ids),
             "new_pairs": len(pairs),
             "questions": 0,
             "iterations": 0,
+            "asked_pairs": [],
+            "ingest_seconds": ingest_seconds,
+            "index_seconds": index_seconds,
         }
         if pairs:
-            # Routed through batch_similarity_matrix when the config's
-            # use_batch_similarity is set (the default), scalar otherwise —
-            # the same dispatch the one-shot resolver uses.
-            vectors = self._resolver.similarity_vectors(self.table, pairs)
+            vectors = self._batch_vectors(pairs)
             graph = build_graph(
                 pairs,
                 vectors,
@@ -179,32 +210,56 @@ class IncrementalResolver:
                 grouping_algorithm=self.config.grouping_algorithm,
             )
             if session is None:
-                if not all(
-                    self.table[i].entity_id is not None for pair in pairs for i in pair
-                ):
-                    raise ConfigurationError(
-                        "no session given and the batch lacks ground truth; "
-                        "provide a crowd session"
-                    )
-                crowd = SimulatedCrowd(
-                    pair_truth(self.table, pairs),
-                    pool=WorkerPool(
-                        accuracy_range=worker_band, seed=self.config.seed
-                    ),
-                    assignments=self.config.assignments,
-                )
-                session = crowd.session()
+                session = self._auto_session(pairs, worker_band)
+            # Deltas, not totals: a long-lived session carries its asked set
+            # and pooled bill across batches, so per-batch numbers are the
+            # difference the batch made, and the accumulated totals equal
+            # the session's own ledger.
+            asked_before = session.asked_pairs
+            iterations_before = session.iterations
+            cost_before = session.cost_cents
             selector = self._resolver.make_selector()
             result = selector.run(graph, session)
+            batch_asked = sorted(session.asked_pairs - asked_before)
             self.labels.update(result.labels)
-            self.total_questions += result.questions
-            self.total_iterations += result.iterations
-            self.total_cost_cents += result.cost_cents
-            report["questions"] = result.questions
-            report["iterations"] = result.iterations
+            self.total_questions += len(batch_asked)
+            self.total_iterations += session.iterations - iterations_before
+            self.total_cost_cents += session.cost_cents - cost_before
+            report["questions"] = len(batch_asked)
+            report["iterations"] = session.iterations - iterations_before
+            report["asked_pairs"] = batch_asked
         self.batches += 1
         report["clusters"] = len(self.clusters())
         return report
+
+    def _batch_vectors(self, pairs: Sequence[Pair]) -> np.ndarray:
+        """Similarity vectors for one batch's candidate pairs.
+
+        Routed through ``batch_similarity_matrix`` when the config's
+        ``use_batch_similarity`` is set (the default), scalar otherwise —
+        the same dispatch the one-shot resolver uses.  Overridable: the
+        streaming service reroutes large batches through the shard
+        executor, which is bit-identical by the shard merge contract.
+        """
+        return self._resolver.similarity_vectors(self.table, pairs)
+
+    def _auto_session(self, pairs: Sequence[Pair], worker_band):
+        """A fresh simulated-crowd session over the batch's ground truth."""
+        if not all(
+            self.table[i].entity_id is not None for pair in pairs for i in pair
+        ):
+            raise ConfigurationError(
+                "no session given and the batch lacks ground truth; "
+                "provide a crowd session"
+            )
+        crowd = SimulatedCrowd(
+            pair_truth(self.table, pairs),
+            pool=WorkerPool(
+                accuracy_range=worker_band, seed=self.config.seed
+            ),
+            assignments=self.config.assignments,
+        )
+        return crowd.session()
 
     # ------------------------------------------------------------------ #
     # Results

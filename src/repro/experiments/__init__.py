@@ -1,6 +1,6 @@
 """Experiment harnesses reproducing every table and figure of the paper."""
 
-from . import ablations, figures, perf, shard_scaling
+from . import ablations, figures, perf, shard_scaling, stream_ingest
 from .reporting import emit, format_table
 from .runner import (
     METHODS,
@@ -32,4 +32,5 @@ __all__ = [
     "prepare",
     "run_method",
     "shard_scaling",
+    "stream_ingest",
 ]

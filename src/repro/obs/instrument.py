@@ -211,6 +211,34 @@ def record_executor_stats(obs: Observability, stats_dict: dict) -> None:
     ).inc(stats_dict.get("run_seconds", 0.0))
 
 
+def record_stream_batch(obs: Observability, report: dict) -> None:
+    """One streaming-resolution batch → ``repro_stream_*`` metrics.
+
+    Same transparency contract as every other hook: reads the finished
+    batch report, never steers the run.
+    """
+    if not obs.metrics:
+        return
+    registry = obs.registry
+    registry.counter(
+        "repro_stream_batches_total", "streaming resolution: batches ingested"
+    ).inc()
+    for key, name in (
+        ("new_records", "repro_stream_records_total"),
+        ("new_pairs", "repro_stream_pairs_total"),
+        ("questions", "repro_stream_questions_total"),
+    ):
+        registry.counter(
+            name, f"streaming resolution: {key.replace('_', ' ')}"
+        ).inc(report.get(key, 0))
+    registry.histogram(
+        "repro_pipeline_stage_seconds",
+        "wall seconds per resolution pipeline stage",
+        boundaries=SECONDS_BOUNDARIES,
+        stage="stream.ingest",
+    ).observe(report.get("ingest_seconds", 0.0))
+
+
 def record_stage_seconds(
     obs: Observability, stage: str, seconds: float, **labels: str
 ) -> None:
@@ -235,4 +263,5 @@ __all__ = [
     "record_executor_stats",
     "record_selection_metrics",
     "record_stage_seconds",
+    "record_stream_batch",
 ]

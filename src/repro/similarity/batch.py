@@ -141,7 +141,11 @@ class TokenIndex:
         for row, text in enumerate(unique):
             tokens = tokenizer(text)
             sizes[row] = len(tokens)
-            for token in tokens:
+            # Sorted iteration pins the dense id layout: identical corpora
+            # produce identical packed matrices in any process, regardless
+            # of hash randomization — which is what lets streaming
+            # checkpoints hash their index blobs reproducibly.
+            for token in sorted(tokens):
                 flat_ids.append(vocab.setdefault(token, len(vocab)))
         self.sizes = sizes
         self.vocab_size = len(vocab)
@@ -152,6 +156,68 @@ class TokenIndex:
             np.asarray(flat_ids, dtype=np.int64),
             self.vocab_size,
         )
+        # Interning state kept live so extend() can append without a rebuild.
+        self._tokenizer: Callable[[str], frozenset[str]] | None = tokenizer
+        self._seen: dict[str, int] | None = {
+            text: row for row, text in enumerate(unique)
+        }
+        self._vocab: dict[str, int] | None = vocab
+
+    def extend(self, texts: Sequence[str]) -> "TokenIndex":
+        """Append more texts in place, reusing the existing interned state.
+
+        New distinct strings are tokenized once, new tokens get the next
+        dense ids, and the packed bit-matrix grows by exactly the new rows
+        (existing rows are zero-padded when the vocabulary spills into new
+        64-bit words, which changes no set bits).  The result is
+        bit-identical to rebuilding ``TokenIndex(old_texts + texts)`` from
+        scratch — that is what makes streaming candidate sweeps exact — at
+        O(new) interning cost instead of O(all).
+
+        Only indexes built through the generic constructor support this;
+        the vectorized :meth:`for_bigrams` fast path discards its interning
+        state and raises :class:`ConfigurationError`.
+        """
+        if self._seen is None or self._vocab is None or self._tokenizer is None:
+            raise ConfigurationError(
+                "this TokenIndex was built without interning state "
+                "(for_bigrams fast path); rebuild it to add texts"
+            )
+        new_inverse = np.empty(len(texts), dtype=np.int64)
+        new_unique: list[str] = []
+        first_new_row = len(self._seen)
+        for position, text in enumerate(texts):
+            index = self._seen.get(text)
+            if index is None:
+                index = len(self._seen)
+                self._seen[text] = index
+                new_unique.append(text)
+            new_inverse[position] = index
+        self.row_of_text = np.concatenate((self.row_of_text, new_inverse))
+        if not new_unique:
+            return self
+        flat_ids: list[int] = []
+        sizes = np.zeros(len(new_unique), dtype=np.int64)
+        for row, text in enumerate(new_unique):
+            tokens = self._tokenizer(text)
+            sizes[row] = len(tokens)
+            for token in sorted(tokens):  # same id discipline as __init__
+                flat_ids.append(self._vocab.setdefault(token, len(self._vocab)))
+        self.vocab_size = len(self._vocab)
+        num_words = max(1, (self.vocab_size + 63) // 64)
+        if num_words > self.bits.shape[1]:
+            grown = np.zeros((first_new_row, num_words), dtype=np.uint64)
+            grown[:, : self.bits.shape[1]] = self.bits
+            self.bits = grown
+        new_bits = _pack_rows(
+            len(new_unique),
+            np.repeat(np.arange(len(new_unique), dtype=np.int64), sizes),
+            np.asarray(flat_ids, dtype=np.int64),
+            self.vocab_size,
+        )
+        self.bits = np.vstack((self.bits, new_bits))
+        self.sizes = np.concatenate((self.sizes, sizes))
+        return self
 
     @classmethod
     def for_bigrams(cls, texts: Sequence[str]) -> "TokenIndex":
@@ -174,6 +240,11 @@ class TokenIndex:
             # degenerate inputs take the generic (per-text) path.
             return cls(texts, qgram_tokens)
         self = cls.__new__(cls)
+        # The vectorized path interns through array bitmaps, not dicts, so
+        # there is no incremental state to keep: extend() is unsupported.
+        self._tokenizer = None
+        self._seen = None
+        self._vocab = None
         self.row_of_text = inverse
         lengths = np.fromiter(
             (len(norm) for norm in norms), dtype=np.int64, count=len(norms)

@@ -314,6 +314,14 @@ def _dataset_checks(config: BatteryConfig, report: VerificationReport) -> None:
 
     run_check(
         report,
+        f"stream-equivalence[{table.name}]",
+        lambda: oracles.check_stream_equivalence(
+            table, seed=config.base_seed, batch_counts=(3,)
+        ),
+    )
+
+    run_check(
+        report,
         f"observability-transparent[{table.name}]",
         lambda: oracles.check_observability_transparent_table(
             table, seed=config.base_seed

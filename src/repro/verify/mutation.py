@@ -19,6 +19,8 @@ mutant                  seeded bug
 ``shard-merge-drop``    the shard merge drops every slice's votes but one
 ``stale-matching``      deleting a matched vertex leaves its partner claimed
 ``obs-perturbs-selection``  instrumentation drops a vertex from each round
+``stream-stale-index``  a streamed batch lands in the token index as
+                        empty rows (silent candidate loss)
 ======================  ====================================================
 
 Patching is done by rebinding module/class attributes inside a context
@@ -254,6 +256,36 @@ def _mutant_stale_matching():
     return _patched((IncrementalPathCover, "_release_deleted", mutated))
 
 
+def _mutant_stream_stale_index():
+    """A streamed batch's records never really enter the token index.
+
+    Models the classic incremental-index regression: the maintenance path
+    runs (no crash, shapes stay consistent) but the first extension's rows
+    are written as empty token sets, so those records post no candidates —
+    silent pair loss, invisible to every one-shot check because the
+    one-shot pipeline builds its :class:`TokenIndex` from scratch.  Only
+    the multi-batch tier of ``check_stream_equivalence``, which compares
+    the stream's decided-pair universe against the one-shot candidate
+    pairs, can notice the hole.
+    """
+    from ..similarity.batch import TokenIndex
+
+    original = TokenIndex.extend
+
+    def mutated(self, texts):
+        first = not getattr(self, "_extend_mutated", False)
+        self._extend_mutated = True
+        rows_before = self.bits.shape[0]
+        result = original(self, texts)
+        if first and self.bits.shape[0] > rows_before:
+            # bug: the batch "entered" the index as token-empty rows
+            self.bits[rows_before:] = 0
+            self.sizes[rows_before:] = 0
+        return result
+
+    return _patched((TokenIndex, "extend", mutated))
+
+
 def _mutant_obs_perturbs_selection():
     """Observability stops being read-only: it drops a vertex per round.
 
@@ -331,6 +363,11 @@ MUTANTS: tuple[Mutant, ...] = (
         "enabled instrumentation drops a vertex from every selection round",
         _mutant_obs_perturbs_selection,
     ),
+    Mutant(
+        "stream-stale-index",
+        "a streamed batch's records enter the token index as empty rows",
+        _mutant_stream_stale_index,
+    ),
 )
 
 
@@ -365,12 +402,19 @@ def _battery_fixture(seed: int):
     return pairs, vectors
 
 
-def run_detection_battery(seed: int = 0) -> None:
+def run_detection_battery(seed: int = 0, include_stream: bool = True) -> None:
     """The compact all-subsystem sweep each mutant must fail.
 
     Raises :class:`~repro.exceptions.VerificationError` (or crashes) on the
     first check that notices anything wrong; completes silently on healthy
     code.
+
+    Args:
+        seed: base seed threaded through every stochastic component.
+        include_stream: run the streaming-equivalence step.  On by default;
+            the flag exists so tests can prove ``stream-stale-index`` is
+            detected by *only* that step (the battery minus the stream
+            check must sail through under the mutant).
     """
     pairs, vectors = _battery_fixture(seed)
 
@@ -413,6 +457,15 @@ def run_detection_battery(seed: int = 0) -> None:
     oracles.check_shard_equivalence(
         _battery_table(), seed=seed, shard_counts=(2, 3)
     )
+
+    # Streamed vs one-shot resolution (single batch, multi batch under the
+    # monotone exactness oracle, kill-resume): the only step that exercises
+    # TokenIndex.extend, hence the only one able to catch the
+    # stream-stale-index mutant.
+    if include_stream:
+        oracles.check_stream_equivalence(
+            _battery_table(), seed=seed, batch_counts=(3,)
+        )
 
     # Observability transparency: the only step that runs with an active
     # obs handle, hence the only one able to catch instrumentation that

@@ -933,3 +933,250 @@ def check_observability_transparent_table(
             f"{label}: the instrumented resolve produced no trace — the "
             "transparency check would be vacuous"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Streaming-resolution differential
+# --------------------------------------------------------------------------- #
+
+
+def _stream_chunks(table: Table, batches: int):
+    """Split *table*'s records into *batches* contiguous, non-empty chunks."""
+    records = list(table)
+    size = max(1, -(-len(records) // batches))
+    return [records[start : start + size] for start in range(0, len(records), size)]
+
+
+def check_stream_equivalence(
+    table: Table,
+    seed: int = 0,
+    batch_counts: Sequence[int] = (3,),
+    worker_band: str = "90",
+) -> None:
+    """Streamed resolution must agree with one-shot, and survive a kill.
+
+    Three tiers, each a theorem the streaming layer is built on:
+
+    1. **Single-batch bit-identity.** A one-batch stream is the one-shot
+       pipeline with extra bookkeeping, so *everything* must match: the
+       candidate-pair universe, every pair label, the asked-pair set, the
+       question/iteration counts, the pooled bill, and the clusters.
+    2. **Multi-batch semantic equality.** Under a perfect crowd on monotone
+       truth (ungrouped graphs — the regime where inference provably
+       recovers truth exactly), a stream of batches must decide exactly
+       the one-shot candidate-pair universe and produce identical labels,
+       matches, and clusters.  This is the tier that catches a stale token
+       index: a batch whose records never enter the index silently loses
+       its candidate pairs, shrinking the decided universe.
+    3. **Kill-resume bit-identity.** Checkpoint after every batch, kill
+       the process after the first checkpoint (simulated by a torn
+       manifest tail — the worst crash the journal contract allows), then
+       restore and finish.  The resumed run must match the uninterrupted
+       one bit-for-bit: labels, crowd transcripts, totals, and the final
+       checkpoint's ``state_sha``, with no previously-paid pair re-asked.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..core.config import PowerConfig
+    from ..core.resolver import PowerResolver
+    from ..data.ground_truth import pair_truth
+    from ..stream import MANIFEST_NAME, StreamingResolver
+
+    config = PowerConfig(seed=seed)
+
+    # ---- Tier 1: one batch vs one shot, bit for bit ---------------------- #
+    resolver = PowerResolver(config)
+    pairs = resolver.candidate_pairs(table)
+    truth = pair_truth(table, pairs)
+    one_shot_crowd = SimulatedCrowd(
+        truth,
+        pool=WorkerPool(accuracy_range=worker_band, seed=seed),
+        assignments=config.assignments,
+    )
+    one_shot_session = one_shot_crowd.session()
+    one_shot = resolver.resolve(table, session=one_shot_session)
+
+    stream = StreamingResolver(table.attributes, config=config, name=table.name)
+    stream.add_batch(
+        [record.values for record in table],
+        entity_ids=[record.entity_id for record in table],
+        worker_band=worker_band,
+    )
+    label = f"stream-equivalence[{table.name!r}] single-batch"
+    if stream.labels != one_shot.selection.labels:
+        diff = [
+            pair
+            for pair in set(stream.labels) | set(one_shot.selection.labels)
+            if stream.labels.get(pair) != one_shot.selection.labels.get(pair)
+        ]
+        raise VerificationError(
+            f"{label}: {len(diff)} pair labels diverge (e.g. {sorted(diff)[:5]})"
+        )
+    if stream.asked_pairs != one_shot_session.asked_pairs:
+        extra = stream.asked_pairs - one_shot_session.asked_pairs
+        missing = one_shot_session.asked_pairs - stream.asked_pairs
+        raise VerificationError(
+            f"{label}: asked-pair sets diverge: {len(extra)} extra, "
+            f"{len(missing)} missing"
+        )
+    for field, streamed, serial in (
+        ("questions", stream.total_questions, one_shot.questions),
+        ("iterations", stream.total_iterations, one_shot.iterations),
+        ("cost_cents", stream.cost_cents, one_shot.cost_cents),
+    ):
+        if streamed != serial:
+            raise VerificationError(
+                f"{label}: {field} diverges: streamed {streamed} vs "
+                f"one-shot {serial}"
+            )
+    if stream.clusters() != one_shot.clusters:
+        raise VerificationError(
+            f"{label}: clusters diverge ({len(stream.clusters())} vs "
+            f"{len(one_shot.clusters)})"
+        )
+
+    # ---- Tier 2: batched vs one shot under the exactness oracle ---------- #
+    exact_config = PowerConfig(seed=seed, epsilon=None)
+    exact_resolver = PowerResolver(exact_config)
+    vectors = exact_resolver.similarity_vectors(table, pairs)
+    oracle_truth = _pair_truth_from_vertices(pairs, monotone_truth(vectors))
+    for batches in batch_counts:
+        crowd = PerfectCrowd(oracle_truth, assignments=exact_config.assignments)
+        serial = exact_resolver.resolve(table, session=crowd.session())
+        streamed = StreamingResolver(
+            table.attributes,
+            config=exact_config,
+            name=table.name,
+            crowd=PerfectCrowd(oracle_truth, assignments=exact_config.assignments),
+        )
+        for chunk in _stream_chunks(table, batches):
+            streamed.add_batch(
+                [record.values for record in chunk],
+                entity_ids=[record.entity_id for record in chunk],
+            )
+        label = f"stream-equivalence[{table.name!r}] batches={batches}"
+        if set(streamed.labels) != set(serial.candidate_pairs):
+            missing = set(serial.candidate_pairs) - set(streamed.labels)
+            extra = set(streamed.labels) - set(serial.candidate_pairs)
+            raise VerificationError(
+                f"{label}: decided-pair universe diverges from the one-shot "
+                f"candidate pairs: {len(missing)} missing, {len(extra)} extra "
+                "(the incremental candidate sweep must cover every new×old "
+                "and new×new pair the one-shot join finds)"
+            )
+        if streamed.labels != serial.selection.labels:
+            diff = [
+                pair
+                for pair in streamed.labels
+                if streamed.labels[pair] != serial.selection.labels.get(pair)
+            ]
+            raise VerificationError(
+                f"{label}: labels diverge under a perfect crowd on monotone "
+                f"truth (e.g. {sorted(diff)[:5]})"
+            )
+        if streamed.matches != serial.matches:
+            raise VerificationError(
+                f"{label}: match sets diverge: "
+                f"{len(streamed.matches - serial.matches)} extra, "
+                f"{len(serial.matches - streamed.matches)} missing"
+            )
+        if streamed.clusters() != serial.clusters:
+            raise VerificationError(
+                f"{label}: clusters diverge ({len(streamed.clusters())} vs "
+                f"{len(serial.clusters)})"
+            )
+
+    # ---- Tier 3: kill after the first checkpoint, resume, finish --------- #
+    batches = max(batch_counts) if batch_counts else 3
+    chunks = _stream_chunks(table, batches)
+    if len(chunks) >= 2:
+        with tempfile.TemporaryDirectory(prefix="repro-stream-check-") as root:
+            straight_dir = Path(root) / "uninterrupted"
+            resumed_dir = Path(root) / "resumed"
+
+            straight = StreamingResolver(
+                table.attributes,
+                config=config,
+                name=table.name,
+                checkpoint_dir=straight_dir,
+            )
+            for chunk in chunks:
+                straight.add_batch(
+                    [record.values for record in chunk],
+                    entity_ids=[record.entity_id for record in chunk],
+                    worker_band=worker_band,
+                )
+                straight_record = straight.checkpoint()
+
+            victim = StreamingResolver(
+                table.attributes,
+                config=config,
+                name=table.name,
+                checkpoint_dir=resumed_dir,
+            )
+            victim.add_batch(
+                [record.values for record in chunks[0]],
+                entity_ids=[record.entity_id for record in chunks[0]],
+                worker_band=worker_band,
+            )
+            victim.checkpoint()
+            # The kill: the process dies mid-append, leaving a torn trailing
+            # line on the manifest — the exact damage the journal repair
+            # discipline truncates away on restore.
+            with open(resumed_dir / MANIFEST_NAME, "ab") as manifest:
+                manifest.write(b'{"type": "checkpoint", "ba')
+            del victim
+
+            resumed = StreamingResolver.restore(resumed_dir)
+            paid_before = resumed.asked_pairs
+            for chunk in chunks[1:]:
+                resumed.add_batch(
+                    [record.values for record in chunk],
+                    entity_ids=[record.entity_id for record in chunk],
+                    worker_band=worker_band,
+                )
+                resumed_record = resumed.checkpoint()
+
+            label = f"stream-equivalence[{table.name!r}] kill-resume"
+            re_paid = {
+                pair
+                for report in resumed.reports[1:]
+                for pair in report["asked_pairs"]
+            } & paid_before
+            if re_paid:
+                raise VerificationError(
+                    f"{label}: {len(re_paid)} already-paid pairs were asked "
+                    f"again after restore (e.g. {sorted(re_paid)[:5]})"
+                )
+            if resumed.labels != straight.labels:
+                diff = [
+                    pair
+                    for pair in set(resumed.labels) | set(straight.labels)
+                    if resumed.labels.get(pair) != straight.labels.get(pair)
+                ]
+                raise VerificationError(
+                    f"{label}: labels diverge from the uninterrupted run "
+                    f"(e.g. {sorted(diff)[:5]})"
+                )
+            if resumed.transcripts != straight.transcripts:
+                raise VerificationError(
+                    f"{label}: crowd transcripts diverge from the "
+                    "uninterrupted run"
+                )
+            for field, resumed_value, straight_value in (
+                ("total_questions", resumed.total_questions, straight.total_questions),
+                ("total_iterations", resumed.total_iterations, straight.total_iterations),
+                ("cost_cents", resumed.cost_cents, straight.cost_cents),
+            ):
+                if resumed_value != straight_value:
+                    raise VerificationError(
+                        f"{label}: {field} diverges: resumed {resumed_value} "
+                        f"vs uninterrupted {straight_value}"
+                    )
+            if resumed_record["state_sha"] != straight_record["state_sha"]:
+                raise VerificationError(
+                    f"{label}: final checkpoint state_sha diverges: resumed "
+                    f"{resumed_record['state_sha'][:12]} vs uninterrupted "
+                    f"{straight_record['state_sha'][:12]}"
+                )

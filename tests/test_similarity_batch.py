@@ -169,6 +169,94 @@ class TestTokenIndex:
         assert np.array_equal(pairs, np.ones(2))
 
 
+class TestTokenIndexExtend:
+    """extend() ≡ from-scratch rebuild, bit for bit — the streaming contract."""
+
+    @staticmethod
+    def _assert_identical(extended: TokenIndex, scratch: TokenIndex, n: int):
+        assert np.array_equal(extended.row_of_text, scratch.row_of_text)
+        assert np.array_equal(extended.sizes, scratch.sizes)
+        assert extended.vocab_size == scratch.vocab_size
+        assert extended.bits.dtype == scratch.bits.dtype == np.uint64
+        assert np.array_equal(extended.bits, scratch.bits)
+        if n:
+            left = np.repeat(np.arange(n), n)
+            right = np.tile(np.arange(n), n)
+            assert np.array_equal(
+                extended.jaccard_pairs(left, right),
+                scratch.jaccard_pairs(left, right),
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        texts=st.lists(text_strategy, min_size=1, max_size=16),
+        cut=st.integers(min_value=0, max_value=16),
+        data=st.data(),
+    )
+    def test_extend_equals_rebuild(self, texts, cut, data):
+        tokenizer = data.draw(st.sampled_from([word_tokens, qgram_tokens]))
+        cut = min(cut, len(texts))
+        index = TokenIndex(texts[:cut], tokenizer)
+        index.extend(texts[cut:])
+        self._assert_identical(index, TokenIndex(texts, tokenizer), len(texts))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        texts=st.lists(text_strategy, min_size=1, max_size=12),
+        cuts=st.lists(st.integers(min_value=0, max_value=12), max_size=4),
+    )
+    def test_chained_extends_equal_rebuild(self, texts, cuts):
+        bounds = sorted({min(cut, len(texts)) for cut in cuts})
+        if not bounds or bounds[0] == 0:
+            bounds = [0] + [b for b in bounds if b]
+        index = TokenIndex(texts[: bounds[0]] if bounds else [], word_tokens)
+        previous = bounds[0] if bounds else 0
+        for bound in bounds[1:] + [len(texts)]:
+            index.extend(texts[previous:bound])
+            previous = bound
+        self._assert_identical(index, TokenIndex(texts, word_tokens), len(texts))
+
+    def test_empty_batch_is_a_noop(self):
+        texts = ["alpha beta", "beta gamma"]
+        index = TokenIndex(texts, word_tokens)
+        index.extend([])
+        self._assert_identical(index, TokenIndex(texts, word_tokens), len(texts))
+
+    def test_duplicate_texts_share_rows(self):
+        texts = ["alpha beta", "beta gamma"]
+        index = TokenIndex(texts, word_tokens)
+        index.extend(["beta gamma", "alpha beta", "alpha beta"])
+        scratch = TokenIndex(texts + ["beta gamma", "alpha beta", "alpha beta"],
+                             word_tokens)
+        assert len(index) == 2  # no new distinct strings, no new rows
+        self._assert_identical(index, scratch, 5)
+
+    def test_vocab_growth_pads_existing_rows(self):
+        # >64 fresh tokens force the packed matrix into new uint64 words;
+        # the old rows must zero-pad, changing no set bits.
+        index = TokenIndex(["alpha beta"], word_tokens)
+        words_before = index.bits.shape[1]
+        grown = [" ".join(f"tok{i}{j}" for j in range(10)) for i in range(8)]
+        index.extend(grown)
+        assert index.bits.shape[1] > words_before
+        self._assert_identical(
+            index, TokenIndex(["alpha beta"] + grown, word_tokens), 9
+        )
+
+    def test_qgram_and_word_tokenizers_stay_distinct(self):
+        texts = ["abc", "abd"]
+        more = ["abe"]
+        for tokenizer in (qgram_tokens, word_tokens):
+            index = TokenIndex(texts, tokenizer)
+            index.extend(more)
+            self._assert_identical(index, TokenIndex(texts + more, tokenizer), 3)
+
+    def test_bigram_fast_path_rejects_extend(self):
+        index = TokenIndex.for_bigrams(["alpha", "beta"])
+        with pytest.raises(ConfigurationError, match="for_bigrams"):
+            index.extend(["gamma"])
+
+
 class TestBatchEdit:
     def test_deduplicated_pairs_match_reference(self):
         texts = ["power", "tower", "power", "", "flower", "tower"]

@@ -34,6 +34,7 @@ class TestMutationSelfTest:
         from repro.crowd.platform import CrowdSession
         from repro.graph.coloring import ColoringState
         from repro.graph.dag import PairGraph
+        from repro.similarity.batch import TokenIndex
 
         before = (
             construction.blocked_dominance_lists,
@@ -43,6 +44,7 @@ class TestMutationSelfTest:
             ColoringState.apply_answer,
             PairGraph.descendant_mask,
             CrowdSession.hits,
+            TokenIndex.extend,
         )
         run_mutation_selftest(seed=0)
         after = (
@@ -53,8 +55,26 @@ class TestMutationSelfTest:
             ColoringState.apply_answer,
             PairGraph.descendant_mask,
             CrowdSession.hits,
+            TokenIndex.extend,
         )
         assert before == after
+
+    def test_stale_index_is_caught_only_by_the_stream_step(self):
+        """The stream-equivalence step has exclusive teeth for this mutant.
+
+        Under ``stream-stale-index`` the full battery must scream *and* the
+        failure must come from the stream check: the same battery with the
+        stream step disabled sails through, because no other check ever
+        exercises ``TokenIndex.extend``.
+        """
+        from repro.exceptions import VerificationError
+
+        mutant = next(m for m in MUTANTS if m.name == "stream-stale-index")
+        with mutant.activate():
+            with pytest.raises(VerificationError, match="stream-equivalence"):
+                run_detection_battery(seed=0)
+        with mutant.activate():
+            run_detection_battery(seed=0, include_stream=False)
 
     def test_each_mutant_actually_changes_behavior(self):
         """Activating a mutant must make the pristine battery fail loudly."""
