@@ -45,6 +45,18 @@
 #                       benchmarks/results/BENCH_stream.json
 #   make bench-stream-smoke - <60s smoke of the same; the gates only
 #                       require the incremental paths not to lose
+#   make serve-smoke  - <60s serving CLI smoke: spawn a private server,
+#                       ingest the restaurant dataset through the client,
+#                       then respawn on the same checkpoint root and query
+#                       clusters from the restored session
+#   make bench-serve  - serve-throughput benchmark: 1/8/32 concurrent
+#                       tenants over real sockets (state_sha bit-equivalence
+#                       asserted while timing) plus a priced load-shedding
+#                       burst; enforces the 3x aggregate-throughput floor
+#                       and refreshes benchmarks/results/BENCH_serve.json
+#   make bench-serve-smoke - <60s smoke of the same with a smaller fan-out
+#                       and a relaxed scaling bar (shedding and equivalence
+#                       gates are never relaxed)
 
 PYTHON ?= python
 export PYTHONPATH := src
@@ -52,9 +64,9 @@ export PYTHONPATH := src
 # Minimum acceptable line coverage (percent) for `make coverage`.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: check test engine-smoke shard-smoke stream-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke bench-obs bench-obs-smoke bench-stream bench-stream-smoke
+.PHONY: check test engine-smoke shard-smoke stream-smoke serve-smoke verify lint coverage bench-smoke bench-perf bench-shard bench-selection bench-selection-smoke bench-obs bench-obs-smoke bench-stream bench-stream-smoke bench-serve bench-serve-smoke
 
-check: test engine-smoke shard-smoke stream-smoke bench-selection-smoke bench-obs-smoke bench-stream-smoke verify coverage lint
+check: test engine-smoke shard-smoke stream-smoke serve-smoke bench-selection-smoke bench-obs-smoke bench-stream-smoke bench-serve-smoke verify coverage lint
 
 test:
 	$(PYTHON) -m pytest -q
@@ -133,3 +145,27 @@ STREAM_SMOKE_OUT ?= /tmp/BENCH_stream_smoke.json
 bench-stream-smoke:
 	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_stream_ingest.py --check \
 		--out $(STREAM_SMOKE_OUT)
+
+# Scratch directory for the serving CLI smoke (wiped before and after).
+SERVE_SMOKE_DIR ?= .serve-smoke
+
+serve-smoke:
+	@rm -rf $(SERVE_SMOKE_DIR) && mkdir -p $(SERVE_SMOKE_DIR)
+	$(PYTHON) -m repro generate restaurant $(SERVE_SMOKE_DIR)/records.csv
+	$(PYTHON) -m repro client ingest-csv --spawn $(SERVE_SMOKE_DIR)/root \
+		--session smoke --input $(SERVE_SMOKE_DIR)/records.csv \
+		--batch-size 200
+	$(PYTHON) -m repro client clusters --spawn $(SERVE_SMOKE_DIR)/root \
+		--session smoke
+	@rm -rf $(SERVE_SMOKE_DIR)
+
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve_throughput.py --check
+
+# Like the stream smoke: fast-mode timings must not clobber the committed
+# full-run BENCH_serve.json.
+SERVE_SMOKE_OUT ?= /tmp/BENCH_serve_smoke.json
+
+bench-serve-smoke:
+	POWER_BENCH_FAST=1 $(PYTHON) benchmarks/bench_serve_throughput.py --check \
+		--out $(SERVE_SMOKE_OUT)

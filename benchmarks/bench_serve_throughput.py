@@ -1,0 +1,97 @@
+"""Serve-throughput benchmark: concurrent tenants must beat one tenant.
+
+Pushes the same per-session workload through a live resolution server at
+1, 8, and 32 concurrent sessions (real sockets, one driver per tenant)
+and gates: aggregate throughput at the top fan-out >= 3x the
+single-session baseline, every session's final ``state_sha`` bit-identical
+to a direct serial run, and a deliberate overload burst shed with priced
+``retry_after`` refusals instead of collapsing.  The report lands in
+``benchmarks/results/BENCH_serve.json``.
+
+Runs two ways:
+
+* under pytest (the benchmark suite): ``pytest benchmarks/bench_serve_throughput.py``
+* standalone: ``PYTHONPATH=src python benchmarks/bench_serve_throughput.py --check``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments import emit, perf
+from repro.experiments.serve_load import (
+    run_serve_load_benchmark,
+    serve_acceptance_failures,
+    serve_summary_rows,
+)
+
+RESULT_NAME = "BENCH_serve.json"
+HEADERS = ("phase", "wall", "throughput", "p50 / p99", "scaling")
+
+
+def _run_in_scratch(**kwargs):
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as scratch:
+        return run_serve_load_benchmark(scratch, **kwargs)
+
+
+def test_serve_throughput(benchmark, results):
+    from conftest import run_once
+
+    report = run_once(benchmark, _run_in_scratch)
+    perf.write_report(report, results(RESULT_NAME))
+    emit("Serve throughput", HEADERS, serve_summary_rows(report))
+    failures = serve_acceptance_failures(report)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=None,
+                        help="records per session (default 75; 45 in fast mode)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="records per batch (default 25; 15 in fast mode)")
+    parser.add_argument("--crowd-latency", type=float, default=None,
+                        help="simulated crowd round-trip seconds per batch "
+                             "(default 1.0; 0.3 in fast mode)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent / "results" / RESULT_NAME)
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero when a scaling, isolation, or "
+                             "shedding gate fails")
+    args = parser.parse_args(argv)
+
+    report = _run_in_scratch(
+        records_cap=args.records,
+        batch_size=args.batch_size,
+        crowd_latency=args.crowd_latency,
+        seed=args.seed,
+    )
+    path = perf.write_report(report, args.out)
+    emit("Serve throughput", HEADERS, serve_summary_rows(report))
+    print(f"report -> {path}")
+
+    failures = serve_acceptance_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.check and failures:
+        return 1
+    if not failures:
+        print("all gates passed:", json.dumps({
+            "max_vs_single_throughput": round(
+                report["speedups"]["max_vs_single_throughput"], 2
+            ),
+            "sessions_bit_identical": all(
+                phase["sessions_bit_identical"] for phase in report["phases"]
+            ),
+            "shed": report["shedding"]["shed"],
+        }))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

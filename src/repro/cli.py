@@ -16,6 +16,12 @@ Commands:
   :class:`~repro.shard.ShardedResolver` (partitioned multi-process
   resolution), optionally checking byte-level equivalence with the serial
   resolver.
+* ``serve`` — run the :mod:`repro.serve` multi-tenant resolution server:
+  many isolated streaming sessions behind one asyncio line-protocol
+  endpoint, with LRU eviction to the snapshot store, admission control,
+  and a graceful SIGTERM drain that checkpoints every live session.
+* ``client`` — talk to a running server (or ``--spawn`` a private one):
+  health/metrics probes, CSV ingestion in batches, cluster queries.
 * ``trace`` — render a span trace recorded by ``--trace`` as an indented
   timing tree (or dump the raw flat records with ``--json``).
 
@@ -368,6 +374,76 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0)
     _add_obs_arguments(stream)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant async resolution server",
+        description=(
+            "Host many isolated streaming-resolution sessions behind one "
+            "asyncio JSON-lines endpoint (repro.serve).  Each session is a "
+            "single-writer actor over a StreamingResolver; resident memory "
+            "is bounded by LRU eviction to the snapshot store (sessions "
+            "restore transparently on the next touch), ingest is guarded "
+            "by per-session admission control with explicit retry_after "
+            "load shedding, and SIGTERM/SIGINT drains gracefully: every "
+            "live session is checkpointed before exit, so no paid crowd "
+            "answer is ever lost.  The same port answers plain HTTP GET "
+            "/healthz and /metrics (Prometheus text)."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks an ephemeral port (the "
+                            "bound port is printed on startup)")
+    serve.add_argument("--checkpoint-root", type=Path, required=True,
+                       help="directory holding one snapshot subdirectory "
+                            "per session (eviction + drain target)")
+    serve.add_argument("--max-sessions", type=int, default=8,
+                       help="LRU cap on resolver sessions held in memory")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-session sustained ingests/second "
+                            "(0 = unlimited)")
+    serve.add_argument("--burst", type=float, default=4.0,
+                       help="per-session token-bucket burst capacity")
+    serve.add_argument("--queue-depth", type=int, default=4,
+                       help="per-session bounded ingest queue; beyond it "
+                            "requests are shed with retry_after")
+    serve.add_argument("--crowd-latency", type=float, default=0.0,
+                       help="simulated crowd round-trip seconds awaited "
+                            "per ingested batch (timing only, never state)")
+
+    client = commands.add_parser(
+        "client",
+        help="talk to a running resolution server",
+        description=(
+            "Drive a repro.serve server over its JSON-lines protocol: "
+            "probe health/metrics, ingest a labeled CSV in batches into a "
+            "named session, query its clusters, or close it.  With "
+            "--spawn DIR a private server is launched on an ephemeral "
+            "port with that checkpoint root, used for the action, and "
+            "drained with SIGTERM afterwards."
+        ),
+    )
+    client.add_argument("action",
+                        choices=["health", "metrics", "ingest-csv",
+                                 "clusters", "checkpoint", "close"])
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=None,
+                        help="server port (required unless --spawn)")
+    client.add_argument("--session", default=None,
+                        help="session name (session actions)")
+    client.add_argument("--input", type=Path, default=None,
+                        help="labeled CSV to ingest (ingest-csv)")
+    client.add_argument("--batch-size", type=int, default=50,
+                        help="records per ingest request")
+    client.add_argument("--band", default="90", choices=["70", "80", "90"],
+                        help="simulated worker accuracy band")
+    client.add_argument("--seed", type=int, default=0,
+                        help="session config seed (ingest-csv create)")
+    client.add_argument("--spawn", type=Path, default=None,
+                        metavar="CHECKPOINT_ROOT",
+                        help="launch a private server with this checkpoint "
+                             "root for the duration of the action")
+
     trace = commands.add_parser(
         "trace",
         help="render a span trace recorded with --trace",
@@ -600,28 +676,265 @@ def _command_stream(args) -> int:
     offset = len(resolver.table)
     records = table.records[offset:]
     ran = 0
-    with _observed(args):
-        for start in range(0, len(records), args.batch_size):
-            if args.max_batches is not None and ran >= args.max_batches:
-                break
-            chunk = records[start : start + args.batch_size]
-            report = resolver.add_batch(
-                [record.values for record in chunk],
-                entity_ids=[record.entity_id for record in chunk],
-            )
-            line = (
-                f"batch {report['batch']}: +{report['new_records']} records, "
-                f"{report['new_pairs']} pairs, {report['questions']} "
-                f"questions, clusters={report['clusters']}"
-            )
-            if args.checkpoint_dir is not None:
-                checkpoint = resolver.checkpoint()
-                line += f", checkpoint {checkpoint['state_sha'][:12]}"
-            print(line)
-            ran += 1
-    if ran == 0:
+    # Graceful shutdown: SIGTERM/SIGINT set a flag instead of killing the
+    # process mid-batch.  The current batch finishes and its checkpoint is
+    # flushed whole (no torn manifest tail to repair), then the stream
+    # stops cleanly — resumable with --resume, no paid answer lost.
+    import signal
+
+    stop_signal: list[int] = []
+
+    def _request_stop(signum, frame):
+        stop_signal.append(signum)
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform
+    try:
+        with _observed(args):
+            for start in range(0, len(records), args.batch_size):
+                if stop_signal:
+                    break
+                if args.max_batches is not None and ran >= args.max_batches:
+                    break
+                chunk = records[start : start + args.batch_size]
+                report = resolver.add_batch(
+                    [record.values for record in chunk],
+                    entity_ids=[record.entity_id for record in chunk],
+                )
+                line = (
+                    f"batch {report['batch']}: +{report['new_records']} records, "
+                    f"{report['new_pairs']} pairs, {report['questions']} "
+                    f"questions, clusters={report['clusters']}"
+                )
+                if args.checkpoint_dir is not None:
+                    checkpoint = resolver.checkpoint()
+                    line += f", checkpoint {checkpoint['state_sha'][:12]}"
+                print(line, flush=True)
+                ran += 1
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    if stop_signal:
+        print(
+            f"received signal {stop_signal[0]}; stopped cleanly after "
+            f"batch {resolver.batches} (checkpoint flushed, resume with "
+            "--resume)",
+            flush=True,
+        )
+    if ran == 0 and not stop_signal:
         print("no new records to ingest")
     print(resolver.summary())
+    return 0
+
+
+def _command_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .obs import Observability, activated
+    from .serve import ServeApp, run_server
+
+    async def runner() -> list[dict]:
+        app = ServeApp(
+            args.checkpoint_root,
+            max_sessions=args.max_sessions,
+            rate=args.rate,
+            burst=args.burst,
+            queue_depth=args.queue_depth,
+            crowd_latency=args.crowd_latency,
+        )
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(
+                    signum, lambda *_: loop.call_soon_threadsafe(shutdown.set)
+                )
+        ready: asyncio.Future = loop.create_future()
+        serve_task = loop.create_task(
+            run_server(
+                app,
+                host=args.host,
+                port=args.port,
+                shutdown=shutdown,
+                ready=ready,
+            )
+        )
+        port = await ready
+        print(
+            f"serving on {args.host}:{port} "
+            f"(checkpoint root {args.checkpoint_root}, "
+            f"max {args.max_sessions} resident sessions)",
+            flush=True,
+        )
+        drained = await serve_task
+        for record in drained:
+            print(
+                f"drained session {record['session']}: "
+                f"batch {record['batch']}, state_sha {record['state_sha']}",
+                flush=True,
+            )
+        return drained
+
+    # Serving globally activates a metrics-only handle so repro_stream_*
+    # batch metrics flow into /metrics alongside the repro_serve_* families.
+    obs = Observability(tracing=False, metrics=True)
+    with activated(obs):
+        drained = asyncio.run(runner())
+    print(f"drained {len(drained)} session(s); bye", flush=True)
+    return 0
+
+
+def _spawned_server(args):
+    """Launch a private ``repro serve`` subprocess; returns (proc, port)."""
+    import re
+    import subprocess
+
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--checkpoint-root",
+            str(args.spawn),
+            "--host",
+            args.host,
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"serving on [^:]+:(\d+)", line or "")
+    if not match:
+        proc.terminate()
+        raise PowerError(f"spawned server did not start: {line!r}")
+    return proc, int(match.group(1))
+
+
+def _command_client(args) -> int:
+    import json
+    import signal
+    import time
+
+    from .exceptions import OverloadedError
+    from .serve import ServeClient
+    from .stream.service import _encode_config
+
+    needs_session = args.action in ("ingest-csv", "clusters", "checkpoint", "close")
+    if needs_session and not args.session:
+        print(f"{args.action} requires --session", file=sys.stderr)
+        return 2
+    if args.action == "ingest-csv" and args.input is None:
+        print("ingest-csv requires --input CSV", file=sys.stderr)
+        return 2
+    if args.port is None and args.spawn is None:
+        print("need --port (or --spawn CHECKPOINT_ROOT)", file=sys.stderr)
+        return 2
+
+    proc = None
+    port = args.port
+    if args.spawn is not None:
+        proc, port = _spawned_server(args)
+    try:
+        with ServeClient(host=args.host, port=port) as client:
+
+            def call(op, **fields):
+                while True:
+                    try:
+                        return client.call(op, **fields)
+                    except OverloadedError as error:
+                        time.sleep(max(0.01, error.retry_after))
+
+            if args.action == "health":
+                health = call("healthz")
+                for key in ("status", "protocol", "resident", "known_sessions"):
+                    print(f"{key:14s}: {health[key]}")
+            elif args.action == "metrics":
+                print(call("metrics")["metrics"], end="")
+            elif args.action == "ingest-csv":
+                table = load_csv(args.input)
+                if not table.has_ground_truth():
+                    print(
+                        "ingest-csv needs an entity_id column to simulate "
+                        "the crowd",
+                        file=sys.stderr,
+                    )
+                    return 2
+                created = call(
+                    "create_session",
+                    session=args.session,
+                    attributes=list(table.attributes),
+                    config=_encode_config(PowerConfig(seed=args.seed)),
+                    worker_band=args.band,
+                )
+                verb = "created" if created["created"] else "attached to"
+                print(
+                    f"{verb} session {args.session} "
+                    f"({created['records']} records, "
+                    f"batch {created['batches']})"
+                )
+                records = table.records[created["records"]:]
+                for start in range(0, len(records), args.batch_size):
+                    chunk = records[start : start + args.batch_size]
+                    report = call(
+                        "ingest",
+                        session=args.session,
+                        rows=[list(record.values) for record in chunk],
+                        entity_ids=[record.entity_id for record in chunk],
+                    )
+                    print(
+                        f"batch {report['batch']}: "
+                        f"+{report['new_records']} records, "
+                        f"{report['new_pairs']} pairs, "
+                        f"{report['questions']} questions, "
+                        f"clusters={report['clusters']}",
+                        flush=True,
+                    )
+                checkpoint = call("checkpoint", session=args.session)
+                print(
+                    f"checkpoint : batch {checkpoint['batch']}, "
+                    f"{checkpoint['records']} records, "
+                    f"{checkpoint['questions']} questions, "
+                    f"state_sha {checkpoint['state_sha'][:12]}"
+                )
+            elif args.action == "clusters":
+                result = call("query_clusters", session=args.session)
+                print(json.dumps(result["clusters"]))
+                print(
+                    f"clusters   : {len(result['clusters'])} over "
+                    f"{result['records']} records "
+                    f"({result['questions']} questions, "
+                    f"{result['cost_cents'] / 100:.2f} USD)"
+                )
+            elif args.action == "checkpoint":
+                checkpoint = call("checkpoint", session=args.session)
+                print(
+                    f"checkpoint : batch {checkpoint['batch']}, "
+                    f"state_sha {checkpoint['state_sha']}"
+                )
+            elif args.action == "close":
+                closed = call("close", session=args.session)
+                print(
+                    f"closed {closed['session']}: batch {closed['batch']}, "
+                    f"state_sha {closed['state_sha']}"
+                )
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except Exception:  # noqa: BLE001
+                proc.kill()
     return 0
 
 
@@ -750,6 +1063,8 @@ def main(argv=None) -> int:
         "verify": _command_verify,
         "shard": _command_shard,
         "stream": _command_stream,
+        "serve": _command_serve,
+        "client": _command_client,
         "trace": _command_trace,
     }
     try:

@@ -52,6 +52,29 @@ class ObservabilityError(PowerError):
     an unbalanced span stack, a profiler started off the main thread)."""
 
 
+class ServeError(PowerError):
+    """The resolution service reached an invalid state (session registry
+    inconsistency, actor failure, misconfigured server)."""
+
+
+class ProtocolError(ServeError):
+    """A serve-protocol request is malformed or speaks an unsupported
+    version; carries the machine-readable ``code`` the wire response uses."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class OverloadedError(ServeError):
+    """The server shed a request under admission control; ``retry_after``
+    is the seconds a well-behaved client should wait before retrying."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class VerificationError(PowerError):
     """A correctness check of :mod:`repro.verify` failed: a production path
     disagreed with its brute-force oracle, or an invariant was violated."""

@@ -1,6 +1,6 @@
 """Experiment harnesses reproducing every table and figure of the paper."""
 
-from . import ablations, figures, perf, shard_scaling, stream_ingest
+from . import ablations, figures, perf, serve_load, shard_scaling, stream_ingest
 from .reporting import emit, format_table
 from .runner import (
     METHODS,
@@ -30,6 +30,7 @@ __all__ = [
     "make_crowd",
     "perf",
     "prepare",
+    "serve_load",
     "run_method",
     "shard_scaling",
     "stream_ingest",

@@ -1,0 +1,355 @@
+"""Serve-load benchmark: concurrency must pay while correctness holds.
+
+The serving layer's pitch is that one process can host many tenants whose
+crowd round-trips overlap: while tenant A waits for its (simulated) crowd
+answers, tenants B..Z get the CPU.  This harness measures that claim on a
+synthetic restaurant workload and gates three things at once:
+
+* **throughput scaling** — the same per-session workload is pushed
+  through a live :class:`~repro.serve.ResolutionServer` at 1, 8, and 32
+  concurrent sessions (each driver a real socket client).  Aggregate
+  batch throughput at the top concurrency must be at least
+  :data:`THROUGHPUT_SCALING_MIN`× the single-session baseline.  The
+  crowd round-trip is modeled with ``crowd_latency`` (an ``asyncio``
+  sleep after each batch's compute — timing only, never state), which is
+  exactly the resource concurrency can reclaim.
+* **bit-identical isolation** — while the clock runs, every session's
+  final ``state_sha`` is compared against a direct serial
+  :class:`~repro.stream.StreamingResolver` run of the same name, seed,
+  and chunks.  A timing win that perturbs resolution state is a bug.
+* **load shedding, not collapse** — a deliberately over-provisioned
+  pipelined burst against a ``queue_depth=2`` server must produce
+  refusals that each carry a positive ``retry_after``, leave the server
+  healthy, and leave the session holding exactly the admitted batches.
+
+``POWER_BENCH_FAST=1`` shrinks the workload (fewer sessions, shorter
+simulated round-trips) and relaxes the scaling bar — sub-second phases
+make ratios noisy; the equivalence and shedding gates are never relaxed.
+The report lands in ``benchmarks/results/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import platform
+import statistics
+import time
+
+from ..core import PowerConfig
+from ..data import synthesize
+from ..data.perturb import LIGHT_PERTURBATIONS
+from ..data.vocab import CITIES, CUISINES, RESTAURANT_NAME_HEADS
+from ..exceptions import ConfigurationError
+from ..serve import PROTOCOL_VERSION, AsyncServeClient, ResolutionServer, ServeApp
+from ..stream import StreamingResolver
+from .runner import fast_mode
+
+ATTRS = ("name", "city", "cuisine")
+
+#: Full-run floor: aggregate throughput at max concurrency vs one session.
+THROUGHPUT_SCALING_MIN = 3.0
+#: Smoke-run floor: tiny phases only have to show concurrency not hurting.
+FAST_THROUGHPUT_SCALING_MIN = 1.2
+
+#: Session fan-outs per phase (full / smoke).
+CONCURRENCIES = (1, 8, 32)
+FAST_CONCURRENCIES = (1, 4)
+
+#: The pipelined burst thrown at the ``queue_depth=2`` shedding server.
+SHED_BURST = 6
+
+
+def _entity(rng):
+    name = RESTAURANT_NAME_HEADS[int(rng.integers(0, len(RESTAURANT_NAME_HEADS)))]
+    return (
+        f"{name} house",
+        CITIES[int(rng.integers(0, len(CITIES)))],
+        CUISINES[int(rng.integers(0, len(CUISINES)))],
+    )
+
+
+def _workload(records_cap, batch_size, crowd_latency, concurrencies):
+    if records_cap is None:
+        records_cap = 45 if fast_mode() else 75
+    if batch_size is None:
+        batch_size = 15 if fast_mode() else 25
+    if crowd_latency is None:
+        crowd_latency = 0.3 if fast_mode() else 1.0
+    if concurrencies is None:
+        concurrencies = FAST_CONCURRENCIES if fast_mode() else CONCURRENCIES
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    table = synthesize(
+        name="serve-load",
+        attributes=ATTRS,
+        entity_factory=_entity,
+        num_entities=max(2, int(records_cap * 0.6)),
+        num_records=records_cap,
+        seed=99,
+        intensity=0.4,
+        pool=LIGHT_PERTURBATIONS,
+    )
+    records = list(table)
+    chunks = [
+        records[start : start + batch_size]
+        for start in range(0, len(records), batch_size)
+    ]
+    return chunks, records_cap, batch_size, crowd_latency, tuple(concurrencies)
+
+
+def _rows(chunk):
+    return [list(record.values) for record in chunk]
+
+
+def _ids(chunk):
+    return [record.entity_id for record in chunk]
+
+
+def _direct_sha(root, name, chunks, seed, worker_band):
+    resolver = StreamingResolver(
+        ATTRS,
+        config=PowerConfig(seed=seed),
+        name=name,
+        worker_band=worker_band,
+        checkpoint_dir=root / f"direct-{name}",
+    )
+    for chunk in chunks:
+        resolver.add_batch(_rows(chunk), entity_ids=_ids(chunk))
+    return resolver.checkpoint()["state_sha"]
+
+
+async def _drive_session(client, name, chunks, worker_band, latencies):
+    await client.create_session(name, list(ATTRS), worker_band=worker_band)
+    for chunk in chunks:
+        started = time.perf_counter()
+        await client.ingest_with_retry(name, _rows(chunk), _ids(chunk))
+        latencies.append(time.perf_counter() - started)
+    record = await client.checkpoint(name)
+    await client.close_session(name)
+    return record["state_sha"]
+
+
+async def _throughput_phase(root, concurrency, chunks, crowd_latency, worker_band):
+    app = ServeApp(
+        root / f"phase-{concurrency}",
+        max_sessions=concurrency,
+        queue_depth=8,
+        crowd_latency=crowd_latency,
+    )
+    latencies: list[float] = []
+    async with ResolutionServer(app) as server:
+
+        async def one(index):
+            async with AsyncServeClient(port=server.port) as client:
+                return index, await _drive_session(
+                    client, f"s{index}", chunks, worker_band, latencies
+                )
+
+        started = time.perf_counter()
+        shas = dict(
+            await asyncio.gather(*(one(index) for index in range(concurrency)))
+        )
+        wall = time.perf_counter() - started
+    await app.drain()
+    return shas, wall, latencies
+
+
+async def _shedding_phase(root, chunks, crowd_latency):
+    """Pipelined over-provisioned burst against a queue_depth=2 server."""
+    app = ServeApp(
+        root / "shed",
+        max_sessions=2,
+        queue_depth=2,
+        crowd_latency=max(crowd_latency, 0.2),
+    )
+    burst_chunk = chunks[0]
+    async with ResolutionServer(app) as server:
+        async with AsyncServeClient(port=server.port) as client:
+            await client.create_session("shed", list(ATTRS))
+            responses = await asyncio.gather(
+                *(
+                    client.request(
+                        "ingest",
+                        session="shed",
+                        rows=_rows(burst_chunk),
+                        entity_ids=_ids(burst_chunk),
+                    )
+                    for _ in range(SHED_BURST)
+                )
+            )
+            shed = [r for r in responses if not r["ok"]]
+            admitted = [r for r in responses if r["ok"]]
+            health = await client.healthz()
+            recorded = (await client.query_clusters("shed"))["batches"]
+    await app.drain()
+    return {
+        "burst": SHED_BURST,
+        "queue_depth": 2,
+        "admitted": len(admitted),
+        "shed": len(shed),
+        "all_sheds_priced": all(
+            r.get("error") == "overloaded" and r.get("retry_after", 0) > 0
+            for r in shed
+        ),
+        "no_hard_errors": all(
+            r["ok"] or r.get("error") == "overloaded" for r in responses
+        ),
+        "healthz_ok": health["status"] == "ok"
+        and health["protocol"] == PROTOCOL_VERSION,
+        "recorded_equals_admitted": recorded == len(admitted),
+    }
+
+
+def run_serve_load_benchmark(
+    root,
+    records_cap: int | None = None,
+    batch_size: int | None = None,
+    crowd_latency: float | None = None,
+    concurrencies: tuple[int, ...] | None = None,
+    seed: int = 0,
+    worker_band: str = "90",
+) -> dict:
+    """Time multi-tenant serving at each fan-out and gate the results.
+
+    Args:
+        root: scratch directory for checkpoint roots and reference runs
+            (a temporary directory; nothing in it outlives the report).
+    """
+    from pathlib import Path
+
+    root = Path(root)
+    chunks, records_cap, batch_size, crowd_latency, concurrencies = _workload(
+        records_cap, batch_size, crowd_latency, concurrencies
+    )
+
+    # Reference hashes: one direct serial run per session name ever used.
+    references = {
+        f"s{index}": _direct_sha(
+            root, f"s{index}", chunks, seed, worker_band
+        )
+        for index in range(max(concurrencies))
+    }
+
+    phases = []
+    for concurrency in concurrencies:
+        shas, wall, latencies = asyncio.run(
+            _throughput_phase(root, concurrency, chunks, crowd_latency, worker_band)
+        )
+        batches_total = concurrency * len(chunks)
+        ordered = sorted(latencies)
+        phases.append(
+            {
+                "concurrency": concurrency,
+                "wall_seconds": wall,
+                "batches_total": batches_total,
+                "throughput_batches_per_second": batches_total / wall,
+                "p50_seconds": statistics.median(ordered),
+                "p99_seconds": ordered[
+                    min(len(ordered) - 1, int(len(ordered) * 0.99))
+                ],
+                "sessions_bit_identical": all(
+                    shas[index] == references[f"s{index}"]
+                    for index in range(concurrency)
+                ),
+            }
+        )
+
+    shedding = asyncio.run(_shedding_phase(root, chunks, crowd_latency))
+    single = phases[0]["throughput_batches_per_second"]
+    top = phases[-1]["throughput_batches_per_second"]
+    return {
+        "benchmark": "serve-load",
+        "fast_mode": fast_mode(),
+        "python": platform.python_version(),
+        "workload": {
+            "dataset": "synthetic-restaurants",
+            "records_per_session": records_cap,
+            "batch_size": batch_size,
+            "batches_per_session": len(chunks),
+            "crowd_latency_seconds": crowd_latency,
+            "concurrencies": list(concurrencies),
+            "seed": seed,
+            "worker_band": worker_band,
+        },
+        "phases": phases,
+        "shedding": shedding,
+        "speedups": {"max_vs_single_throughput": top / single},
+    }
+
+
+def serve_summary_rows(report: dict) -> list[list]:
+    single = report["phases"][0]["throughput_batches_per_second"]
+    rows = []
+    for phase in report["phases"]:
+        throughput = phase["throughput_batches_per_second"]
+        rows.append(
+            [
+                f"{phase['concurrency']} session(s)",
+                f"{phase['wall_seconds']:.2f}s",
+                f"{throughput:.2f} batch/s",
+                f"{phase['p50_seconds'] * 1000:.0f} / "
+                f"{phase['p99_seconds'] * 1000:.0f} ms",
+                f"{throughput / single:.2f}x",
+            ]
+        )
+    shedding = report["shedding"]
+    rows.append(
+        [
+            f"shed burst ({shedding['burst']} deep)",
+            "--",
+            f"{shedding['admitted']} admitted / {shedding['shed']} shed",
+            "--",
+            "priced" if shedding["all_sheds_priced"] else "UNPRICED",
+        ]
+    )
+    return rows
+
+
+def serve_acceptance_failures(report: dict) -> list[str]:
+    """Gate violations, empty when the benchmark passes."""
+    floor = (
+        FAST_THROUGHPUT_SCALING_MIN
+        if report["fast_mode"]
+        else THROUGHPUT_SCALING_MIN
+    )
+    failures = []
+    for phase in report["phases"]:
+        if not phase["sessions_bit_identical"]:
+            failures.append(
+                f"{phase['concurrency']}-session phase diverged from the "
+                "direct serial runs (state_sha mismatch)"
+            )
+    scaling = report["speedups"]["max_vs_single_throughput"]
+    if scaling < floor:
+        failures.append(
+            f"aggregate throughput at max concurrency is only {scaling:.2f}x "
+            f"the single-session baseline (floor {floor}x)"
+        )
+    shedding = report["shedding"]
+    if shedding["shed"] == 0:
+        failures.append(
+            f"a {shedding['burst']}-deep burst past queue_depth="
+            f"{shedding['queue_depth']} shed nothing"
+        )
+    if not shedding["all_sheds_priced"]:
+        failures.append("a shed response is missing a positive retry_after")
+    if not shedding["no_hard_errors"]:
+        failures.append("the shed burst produced hard errors, not refusals")
+    if not shedding["healthz_ok"]:
+        failures.append("the server is unhealthy after the shed burst")
+    if not shedding["recorded_equals_admitted"]:
+        failures.append(
+            "the session's recorded batches differ from the admitted count "
+            "(shedding lost or duplicated work)"
+        )
+    return failures
+
+
+__all__ = [
+    "CONCURRENCIES",
+    "FAST_THROUGHPUT_SCALING_MIN",
+    "THROUGHPUT_SCALING_MIN",
+    "run_serve_load_benchmark",
+    "serve_acceptance_failures",
+    "serve_summary_rows",
+]

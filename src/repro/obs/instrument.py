@@ -239,6 +239,68 @@ def record_stream_batch(obs: Observability, report: dict) -> None:
     ).observe(report.get("ingest_seconds", 0.0))
 
 
+def record_serve_request(
+    obs: Observability, op: str, seconds: float, status: str
+) -> None:
+    """One serve-protocol request → ``repro_serve_*`` metrics.
+
+    Metrics: ``repro_serve_requests_total`` counter labeled
+    ``op=<op>, status=<ok|error|shed>``, the ``repro_serve_shed_total``
+    counter when the request was load-shed, and the
+    ``repro_serve_request_seconds`` histogram labeled ``op=<op>``.
+    """
+    if not obs.metrics:
+        return
+    registry = obs.registry
+    registry.counter(
+        "repro_serve_requests_total",
+        "serve: protocol requests handled",
+        op=op,
+        status=status,
+    ).inc()
+    if status == "shed":
+        registry.counter(
+            "repro_serve_shed_total",
+            "serve: requests refused by admission control",
+            op=op,
+        ).inc()
+    registry.histogram(
+        "repro_serve_request_seconds",
+        "serve: wall seconds per protocol request",
+        boundaries=SECONDS_BOUNDARIES,
+        op=op,
+    ).observe(seconds)
+
+
+def record_serve_sessions(
+    obs: Observability, resident: int, known: int
+) -> None:
+    """Session-registry occupancy → ``repro_serve_sessions_*`` gauges."""
+    if not obs.metrics:
+        return
+    registry = obs.registry
+    registry.gauge(
+        "repro_serve_sessions_resident",
+        "serve: resolver sessions currently in memory",
+    ).set(resident)
+    registry.gauge(
+        "repro_serve_sessions_known",
+        "serve: sessions resident or restorable from the checkpoint root",
+    ).set(known)
+
+
+def record_serve_event(obs: Observability, event: str) -> None:
+    """One registry lifecycle event → ``repro_serve_<event>_total``.
+
+    Events: ``evictions``, ``restores``, ``drain_checkpoints``.
+    """
+    if not obs.metrics:
+        return
+    obs.registry.counter(
+        f"repro_serve_{event}_total", f"serve: session {event}"
+    ).inc()
+
+
 def record_stage_seconds(
     obs: Observability, stage: str, seconds: float, **labels: str
 ) -> None:
@@ -262,6 +324,9 @@ __all__ = [
     "observe_round",
     "record_executor_stats",
     "record_selection_metrics",
+    "record_serve_event",
+    "record_serve_request",
+    "record_serve_sessions",
     "record_stage_seconds",
     "record_stream_batch",
 ]

@@ -1,0 +1,256 @@
+"""Serve-protocol clients: async (pipelining) and sync (simple).
+
+:class:`AsyncServeClient` multiplexes one connection: a background reader
+task pairs response lines back to in-flight requests by the ``id`` echo,
+so a load generator can keep many ingests outstanding — which is exactly
+how the throughput benchmark pressures admission control.
+:class:`ServeClient` is the blocking convenience wrapper the CLI and
+scripts use: one socket, one request at a time.
+
+Both speak the versioned protocol from :mod:`repro.serve.protocol` and
+re-raise server refusals as typed exceptions —
+:class:`~repro.exceptions.OverloadedError` (with the server's
+``retry_after``) for load sheds, :class:`~repro.exceptions.ServeError`
+for everything else — so callers branch on types, not string codes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any
+
+from ..exceptions import OverloadedError, ProtocolError, ServeError
+from .protocol import decode_response, encode
+
+
+def _raise_for(response: dict[str, Any]) -> dict[str, Any]:
+    """A success response's payload, or the typed refusal it encodes."""
+    if response.get("ok"):
+        return response
+    code = response.get("error", "error")
+    message = response.get("message", "server error")
+    if code == "overloaded":
+        raise OverloadedError(
+            message, retry_after=float(response.get("retry_after", 0.05))
+        )
+    raise ServeError(f"{code}: {message}")
+
+
+class AsyncServeClient:
+    """One multiplexed connection to a resolution server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+        self._inflight: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncServeClient":
+        from .protocol import MAX_LINE_BYTES
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(ServeError("connection closed"))
+        self._inflight.clear()
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            try:
+                response = decode_response(line)
+            except ProtocolError:
+                continue
+            future = self._inflight.pop(response.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(response)
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(ServeError("server closed the connection"))
+        self._inflight.clear()
+
+    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and await its raw response (no raising)."""
+        from .protocol import PROTOCOL_VERSION
+
+        if self._writer is None:
+            raise ServeError("client is not connected")
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[request_id] = future
+        message = {"v": PROTOCOL_VERSION, "id": request_id, "op": op, **fields}
+        async with self._write_lock:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+        return await future
+
+    async def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request; raise typed errors on refusal."""
+        return _raise_for(await self.request(op, **fields))
+
+    # Convenience verbs ------------------------------------------------- #
+
+    async def create_session(
+        self, session: str, attributes: list[str], **fields: Any
+    ) -> dict[str, Any]:
+        return await self.call(
+            "create_session",
+            session=session,
+            attributes=list(attributes),
+            **fields,
+        )
+
+    async def ingest(
+        self,
+        session: str,
+        rows: list[list[str]],
+        entity_ids: list[int] | None = None,
+    ) -> dict[str, Any]:
+        fields: dict[str, Any] = {"session": session, "rows": rows}
+        if entity_ids is not None:
+            fields["entity_ids"] = list(entity_ids)
+        return await self.call("ingest", **fields)
+
+    async def ingest_with_retry(
+        self,
+        session: str,
+        rows: list[list[str]],
+        entity_ids: list[int] | None = None,
+        max_attempts: int = 50,
+    ) -> dict[str, Any]:
+        """Ingest, honoring ``retry_after`` backpressure until admitted."""
+        for _ in range(max_attempts):
+            try:
+                return await self.ingest(session, rows, entity_ids)
+            except OverloadedError as error:
+                await asyncio.sleep(max(0.01, error.retry_after))
+        raise OverloadedError(
+            f"still shed after {max_attempts} attempts", retry_after=1.0
+        )
+
+    async def query_clusters(self, session: str) -> dict[str, Any]:
+        return await self.call("query_clusters", session=session)
+
+    async def checkpoint(self, session: str) -> dict[str, Any]:
+        return await self.call("checkpoint", session=session)
+
+    async def close_session(self, session: str) -> dict[str, Any]:
+        return await self.call("close", session=session)
+
+    async def healthz(self) -> dict[str, Any]:
+        return await self.call("healthz")
+
+    async def metrics(self) -> str:
+        return (await self.call("metrics"))["metrics"]
+
+
+class ServeClient:
+    """Blocking client: one socket, one request in flight at a time."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    def connect(self, retries: int = 50, delay: float = 0.1) -> "ServeClient":
+        """Connect, retrying briefly (the spawned-server startup window)."""
+        last_error: Exception | None = None
+        for _ in range(max(1, retries)):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._file = self._sock.makefile("rwb")
+                return self
+            except OSError as error:
+                last_error = error
+                time.sleep(delay)
+        raise ServeError(
+            f"cannot connect to {self.host}:{self.port}: {last_error}"
+        )
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        from .protocol import PROTOCOL_VERSION
+
+        if self._file is None:
+            raise ServeError("client is not connected")
+        self._next_id += 1
+        message = {
+            "v": PROTOCOL_VERSION,
+            "id": self._next_id,
+            "op": op,
+            **fields,
+        }
+        self._file.write(encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return decode_response(line)
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        return _raise_for(self.request(op, **fields))
+
+
+__all__ = ["AsyncServeClient", "ServeClient"]

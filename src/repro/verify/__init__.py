@@ -55,6 +55,7 @@ from .oracles import (
     check_selection_incremental,
     check_selector_differential,
     check_selector_monotone_oracle,
+    check_serve_equivalence,
     check_stream_equivalence,
     check_transitive_closure,
     monotone_truth,
@@ -90,6 +91,7 @@ __all__ = [
     "check_selection_incremental",
     "check_selector_differential",
     "check_selector_monotone_oracle",
+    "check_serve_equivalence",
     "check_session_coherence",
     "check_stream_equivalence",
     "check_topo_layers",

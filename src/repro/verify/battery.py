@@ -322,6 +322,14 @@ def _dataset_checks(config: BatteryConfig, report: VerificationReport) -> None:
 
     run_check(
         report,
+        f"serve-equivalence[{table.name}]",
+        lambda: oracles.check_serve_equivalence(
+            table, seed=config.base_seed, tenants=3, batches=2
+        ),
+    )
+
+    run_check(
+        report,
         f"observability-transparent[{table.name}]",
         lambda: oracles.check_observability_transparent_table(
             table, seed=config.base_seed

@@ -21,6 +21,9 @@ mutant                  seeded bug
 ``obs-perturbs-selection``  instrumentation drops a vertex from each round
 ``stream-stale-index``  a streamed batch lands in the token index as
                         empty rows (silent candidate loss)
+``serve-cross-session-leak``  the session registry hands back another live
+                        tenant's resolver instead of restoring the evicted
+                        session's snapshot
 ======================  ====================================================
 
 Patching is done by rebinding module/class attributes inside a context
@@ -286,6 +289,33 @@ def _mutant_stream_stale_index():
     return _patched((TokenIndex, "extend", mutated))
 
 
+def _mutant_serve_cross_session_leak():
+    """The session registry restores the wrong resolver after eviction.
+
+    Models the classic cache-keying bug in a multi-tenant server: the
+    restore path grabs whatever resolver is still warm instead of decoding
+    the evicted session's own snapshot, silently cross-wiring tenants.  No
+    request fails — every op still returns a well-formed response — so the
+    leak is invisible to protocol-level checks and to any single-tenant
+    run.  Only the evict/restore alternation tier of
+    ``check_serve_equivalence``, which gives concurrent tenants *different*
+    states and compares each final ``state_sha`` against a direct
+    :class:`StreamingResolver` run, can notice that one tenant's batches
+    landed in another tenant's session.
+    """
+    from ..serve.sessions import SessionRegistry
+
+    original = SessionRegistry._restore_resolver
+
+    def mutated(self, name):
+        for other_name, live in self._live.items():
+            if other_name != name:
+                return live.resolver  # bug: another tenant's live resolver
+        return original(self, name)
+
+    return _patched((SessionRegistry, "_restore_resolver", mutated))
+
+
 def _mutant_obs_perturbs_selection():
     """Observability stops being read-only: it drops a vertex per round.
 
@@ -368,6 +398,11 @@ MUTANTS: tuple[Mutant, ...] = (
         "a streamed batch's records enter the token index as empty rows",
         _mutant_stream_stale_index,
     ),
+    Mutant(
+        "serve-cross-session-leak",
+        "the session registry restores another live tenant's resolver",
+        _mutant_serve_cross_session_leak,
+    ),
 )
 
 
@@ -402,7 +437,9 @@ def _battery_fixture(seed: int):
     return pairs, vectors
 
 
-def run_detection_battery(seed: int = 0, include_stream: bool = True) -> None:
+def run_detection_battery(
+    seed: int = 0, include_stream: bool = True, include_serve: bool = True
+) -> None:
     """The compact all-subsystem sweep each mutant must fail.
 
     Raises :class:`~repro.exceptions.VerificationError` (or crashes) on the
@@ -415,6 +452,8 @@ def run_detection_battery(seed: int = 0, include_stream: bool = True) -> None:
             the flag exists so tests can prove ``stream-stale-index`` is
             detected by *only* that step (the battery minus the stream
             check must sail through under the mutant).
+        include_serve: run the serve-equivalence step, with the analogous
+            exclusivity role for ``serve-cross-session-leak``.
     """
     pairs, vectors = _battery_fixture(seed)
 
@@ -465,6 +504,15 @@ def run_detection_battery(seed: int = 0, include_stream: bool = True) -> None:
     if include_stream:
         oracles.check_stream_equivalence(
             _battery_table(), seed=seed, batch_counts=(3,)
+        )
+
+    # Server-hosted sessions vs direct streams (concurrent tenants over
+    # real sockets, then a forced evict/restore alternation): the only
+    # step that exercises the session registry, hence the only one able
+    # to catch the serve-cross-session-leak mutant.
+    if include_serve:
+        oracles.check_serve_equivalence(
+            _battery_table(), seed=seed, tenants=2, batches=2
         )
 
     # Observability transparency: the only step that runs with an active

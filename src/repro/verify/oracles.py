@@ -1180,3 +1180,183 @@ def check_stream_equivalence(
                     f"{resumed_record['state_sha'][:12]} vs uninterrupted "
                     f"{straight_record['state_sha'][:12]}"
                 )
+
+
+# --------------------------------------------------------------------------- #
+# Serve equivalence
+# --------------------------------------------------------------------------- #
+
+
+def check_serve_equivalence(
+    table: Table,
+    seed: int = 0,
+    tenants: int = 3,
+    batches: int = 2,
+    worker_band: str = "90",
+) -> None:
+    """Resolution through the server must equal driving the stream directly.
+
+    Two tiers, matching the two ways the serving layer could corrupt a
+    session:
+
+    1. **Concurrent interleaved tenants.** *tenants* sessions (distinct
+       seeds, distinct batch counts) ingest simultaneously over real
+       sockets against one server.  Worker answers depend only on
+       ``(seed, worker_id, pair)`` and each session is a single-writer
+       actor, so every tenant's final checkpoint ``state_sha`` must be
+       bit-identical to a direct, serial :class:`StreamingResolver` run —
+       no matter how the event loop interleaved them.
+    2. **Evict/restore alternation.** Two tenants alternate batches
+       against a registry capped at one resident session, forcing a full
+       checkpoint → evict → restore cycle on *every* switch.  The final
+       ``state_sha`` per tenant must still match the direct run — the
+       tier that catches a registry handing back the wrong resolver
+       after eviction (the ``serve-cross-session-leak`` mutant), since
+       the tenants' states differ by construction.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from ..core.config import PowerConfig
+    from ..serve import AsyncServeClient, ResolutionServer, ServeApp
+    from ..stream import StreamingResolver
+
+    def tenant_plan(count: int, base_batches: int):
+        # Distinct seeds and batch counts: identical tenants could hide a
+        # cross-wired registry (leaked state would be the right state).
+        return [
+            (f"tenant{index}", seed + index, base_batches + (index % 2))
+            for index in range(count)
+        ]
+
+    def direct_sha(root: Path, name: str, tenant_seed: int, chunks) -> str:
+        resolver = StreamingResolver(
+            table.attributes,
+            config=PowerConfig(seed=tenant_seed),
+            name=name,
+            checkpoint_dir=root / f"direct-{name}",
+            worker_band=worker_band,
+        )
+        for chunk in chunks:
+            resolver.add_batch(
+                [record.values for record in chunk],
+                entity_ids=[record.entity_id for record in chunk],
+            )
+        return resolver.checkpoint()["state_sha"]
+
+    def encoded_config(tenant_seed: int) -> dict:
+        from ..stream.service import _encode_config
+
+        return _encode_config(PowerConfig(seed=tenant_seed))
+
+    # ---- Tier 1: concurrent tenants over real sockets -------------------- #
+    with tempfile.TemporaryDirectory(prefix="repro-serve-check-") as root:
+        root = Path(root)
+        plan = tenant_plan(tenants, batches)
+
+        async def tier_concurrent() -> dict[str, str]:
+            app = ServeApp(root / "served", max_sessions=tenants + 1)
+            shas: dict[str, str] = {}
+            async with ResolutionServer(app) as server:
+
+                async def drive(name: str, tenant_seed: int, count: int):
+                    async with AsyncServeClient(port=server.port) as client:
+                        await client.create_session(
+                            name,
+                            list(table.attributes),
+                            config=encoded_config(tenant_seed),
+                            worker_band=worker_band,
+                        )
+                        for chunk in _stream_chunks(table, count):
+                            await client.ingest(
+                                name,
+                                [list(record.values) for record in chunk],
+                                [record.entity_id for record in chunk],
+                            )
+                        record = await client.checkpoint(name)
+                        shas[name] = record["state_sha"]
+
+                await asyncio.gather(
+                    *(drive(name, s, count) for name, s, count in plan)
+                )
+            return shas
+
+        served = asyncio.run(tier_concurrent())
+        for name, tenant_seed, count in plan:
+            expected = direct_sha(
+                root, name, tenant_seed, _stream_chunks(table, count)
+            )
+            label = f"serve-equivalence[{table.name!r}] concurrent {name}"
+            if served[name] != expected:
+                raise VerificationError(
+                    f"{label}: state_sha through the server "
+                    f"({served[name][:12]}) diverges from the direct "
+                    f"StreamingResolver run ({expected[:12]})"
+                )
+
+    # ---- Tier 2: forced evict/restore on every tenant switch ------------- #
+    with tempfile.TemporaryDirectory(prefix="repro-serve-check-") as root:
+        root = Path(root)
+        alt_batches = max(2, batches)
+        plan = [("alt0", seed, alt_batches), ("alt1", seed + 1, alt_batches)]
+        chunk_lists = {
+            name: _stream_chunks(table, count) for name, _, count in plan
+        }
+
+        async def tier_alternating() -> dict[str, str]:
+            app = ServeApp(root / "served", max_sessions=1)
+
+            async def call(op: str, **fields):
+                response = await app.dispatch({"op": op, "id": 0, **fields})
+                if not response.get("ok"):
+                    raise VerificationError(
+                        f"serve-equivalence[{table.name!r}] alternation: "
+                        f"{op} failed: {response.get('message')}"
+                    )
+                return response
+
+            for name, tenant_seed, _count in plan:
+                await call(
+                    "create_session",
+                    session=name,
+                    attributes=list(table.attributes),
+                    config=encoded_config(tenant_seed),
+                    worker_band=worker_band,
+                )
+            rounds = max(len(chunks) for chunks in chunk_lists.values())
+            for index in range(rounds):
+                for name, _seed, _count in plan:
+                    if index >= len(chunk_lists[name]):
+                        continue
+                    chunk = chunk_lists[name][index]
+                    await call(
+                        "ingest",
+                        session=name,
+                        rows=[list(record.values) for record in chunk],
+                        entity_ids=[record.entity_id for record in chunk],
+                    )
+            shas = {}
+            for name, _seed, _count in plan:
+                shas[name] = (await call("close", session=name))["state_sha"]
+            if app.registry.evictions < 1 or app.registry.restores < 1:
+                raise VerificationError(
+                    f"serve-equivalence[{table.name!r}] alternation: the "
+                    "schedule was supposed to force evict/restore cycles "
+                    f"(evictions={app.registry.evictions}, "
+                    f"restores={app.registry.restores})"
+                )
+            app.registry.shutdown()
+            return shas
+
+        served = asyncio.run(tier_alternating())
+        for name, tenant_seed, _count in plan:
+            expected = direct_sha(root, name, tenant_seed, chunk_lists[name])
+            label = f"serve-equivalence[{table.name!r}] alternation {name}"
+            if served[name] != expected:
+                raise VerificationError(
+                    f"{label}: state_sha after forced evict/restore cycles "
+                    f"({served[name][:12]}) diverges from the direct run "
+                    f"({expected[:12]}) — the registry is not restoring the "
+                    "session it evicted"
+                )

@@ -1,0 +1,191 @@
+"""The serve wire protocol and admission control, pinned exactly.
+
+The protocol is an interface the same way the snapshot manifest is: a
+future build must either speak it or refuse it loudly.  These tests pin
+the codec (compact JSON lines, id echo), the closed op vocabulary, the
+unknown-version rejection in both directions, and — with a hand-cranked
+clock — the token-bucket refill arithmetic and the queue-depth shedding
+prices, to the digit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, OverloadedError, ProtocolError
+from repro.obs.clock import ManualClock
+from repro.serve import (
+    PROTOCOL_VERSION,
+    AdmissionController,
+    TokenBucket,
+    decode_request,
+    decode_response,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.serve.admission import DEFAULT_BATCH_SECONDS, DRAIN_RETRY_AFTER
+
+
+def _request(**fields):
+    return {"v": PROTOCOL_VERSION, "id": 1, **fields}
+
+
+class TestCodec:
+    def test_encode_is_one_compact_json_line(self):
+        raw = encode({"v": 1, "id": 7, "op": "healthz"})
+        assert raw.endswith(b"\n")
+        assert b" " not in raw  # compact separators
+        assert json.loads(raw) == {"v": 1, "id": 7, "op": "healthz"}
+
+    def test_request_roundtrip(self):
+        message = _request(op="ingest", session="a", rows=[["x", "y"]])
+        assert decode_request(encode(message)) == message
+
+    def test_response_roundtrip_and_id_echo(self):
+        response = ok_response(42, batch=3)
+        decoded = decode_response(encode(response))
+        assert decoded["id"] == 42
+        assert decoded["ok"] is True
+        assert decoded["batch"] == 3
+
+    def test_error_response_carries_retry_after_only_when_given(self):
+        plain = error_response(1, "bad_request", "nope")
+        assert "retry_after" not in plain
+        shed = error_response(1, "overloaded", "busy", retry_after=0.25)
+        assert shed["retry_after"] == 0.25
+
+
+class TestRequestValidation:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ProtocolError, match="not supported") as excinfo:
+            decode_request(encode({"v": 99, "id": 1, "op": "healthz"}))
+        assert excinfo.value.code == "unsupported_version"
+        assert str(PROTOCOL_VERSION) in str(excinfo.value)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(encode({"id": 1, "op": "healthz"}))
+        assert excinfo.value.code == "unsupported_version"
+
+    def test_unknown_op_rejected_with_vocabulary(self):
+        with pytest.raises(ProtocolError, match="create_session") as excinfo:
+            decode_request(encode(_request(op="drop_tables")))
+        assert excinfo.value.code == "unknown_op"
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError, match="requires field") as excinfo:
+            decode_request(encode(_request(op="ingest", session="a")))
+        assert excinfo.value.code == "missing_field"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="sneaky") as excinfo:
+            decode_request(
+                encode(_request(op="checkpoint", session="a", sneaky=1))
+            )
+        assert excinfo.value.code == "unknown_field"
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(b"{not json\n")
+        assert excinfo.value.code == "bad_json"
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(b"[1, 2, 3]\n")
+        assert excinfo.value.code == "bad_request"
+
+    def test_empty_ingest_rows_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            decode_request(encode(_request(op="ingest", session="a", rows=[])))
+
+    def test_entity_id_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="entity ids"):
+            decode_request(
+                encode(
+                    _request(
+                        op="ingest",
+                        session="a",
+                        rows=[["x"]],
+                        entity_ids=[1, 2],
+                    )
+                )
+            )
+
+    def test_response_from_future_server_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            decode_response(encode({"v": 99, "id": 1, "ok": True}))
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.admit() for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_arithmetic_is_exact(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.admit()
+        assert not bucket.admit()
+        # 2 tokens/second: one full token is exactly 0.5s away.
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert not bucket.admit()
+        assert bucket.retry_after() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.admit()
+
+    def test_rate_zero_disables_limiting(self):
+        bucket = TokenBucket(rate=0.0, clock=ManualClock())
+        assert all(bucket.admit() for _ in range(100))
+        assert bucket.retry_after() == 0.0
+
+    def test_burst_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_queue_depth_sheds_with_ewma_price(self):
+        control = AdmissionController(queue_depth=2, clock=ManualClock())
+        control.admit(queued=0)
+        control.admit(queued=1)
+        with pytest.raises(OverloadedError) as excinfo:
+            control.admit(queued=2)
+        # Price before any observation: (queued + 1) * default estimate.
+        assert excinfo.value.retry_after == pytest.approx(
+            3 * DEFAULT_BATCH_SECONDS
+        )
+
+    def test_price_tracks_observed_batch_seconds(self):
+        control = AdmissionController(queue_depth=1, clock=ManualClock())
+        for _ in range(200):  # EWMA converges to the observed service time
+            control.observe_batch_seconds(2.0)
+        with pytest.raises(OverloadedError) as excinfo:
+            control.admit(queued=1)
+        assert excinfo.value.retry_after == pytest.approx(4.0, rel=1e-3)
+
+    def test_drain_beats_everything(self):
+        control = AdmissionController(queue_depth=8, clock=ManualClock())
+        with pytest.raises(OverloadedError) as excinfo:
+            control.admit(queued=0, draining=True)
+        assert excinfo.value.retry_after == DRAIN_RETRY_AFTER
+
+    def test_rate_limit_path(self):
+        clock = ManualClock()
+        control = AdmissionController(
+            rate=1.0, burst=1.0, queue_depth=8, clock=clock
+        )
+        control.admit(queued=0)
+        with pytest.raises(OverloadedError) as excinfo:
+            control.admit(queued=0)
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        control.admit(queued=0)
+
+    def test_queue_depth_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            AdmissionController(queue_depth=0)

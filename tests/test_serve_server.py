@@ -1,0 +1,370 @@
+"""End-to-end tests for the resolution server, over real sockets.
+
+Everything here runs in-process (server and client share the event loop)
+but through genuine TCP connections, so framing, pipelining, disconnects,
+and the HTTP probe endpoints are all exercised for real.  The load-
+bearing assertions are the equivalence ones: session state reached
+through the server — including across LRU evict/restore cycles and a
+client that vanishes mid-ingest — must be bit-identical (``state_sha``)
+to driving :class:`StreamingResolver` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import PowerConfig
+from repro.exceptions import OverloadedError, ServeError
+from repro.serve import (
+    PROTOCOL_VERSION,
+    AsyncServeClient,
+    ResolutionServer,
+    ServeApp,
+    encode,
+)
+from repro.stream import StreamingResolver
+
+ATTRS = ("name", "city", "cuisine")
+
+
+def _chunks(table, batches):
+    records = list(table)
+    size = max(1, -(-len(records) // batches))
+    return [records[start : start + size] for start in range(0, len(records), size)]
+
+
+def _rows(chunk):
+    return [list(record.values) for record in chunk]
+
+
+def _ids(chunk):
+    return [record.entity_id for record in chunk]
+
+
+def _direct_sha(table, tmp_path, name, chunks, seed=0):
+    resolver = StreamingResolver(
+        table.attributes,
+        config=PowerConfig(seed=seed),
+        name=name,
+        checkpoint_dir=tmp_path / f"direct-{name}",
+    )
+    for chunk in chunks:
+        resolver.add_batch(_rows(chunk), entity_ids=_ids(chunk))
+    return resolver.checkpoint()["state_sha"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestEndToEnd:
+    def test_session_through_server_matches_direct_stream(
+        self, small_table, tmp_path
+    ):
+        chunks = _chunks(small_table, 3)
+
+        async def scenario():
+            app = ServeApp(tmp_path / "serve", max_sessions=4)
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    created = await client.create_session(
+                        "t1", list(small_table.attributes)
+                    )
+                    assert created["created"] is True
+                    for number, chunk in enumerate(chunks, start=1):
+                        report = await client.ingest(
+                            "t1", _rows(chunk), _ids(chunk)
+                        )
+                        assert report["batch"] == number
+                    clusters = await client.query_clusters("t1")
+                    assert clusters["records"] == len(small_table)
+                    record = await client.checkpoint("t1")
+                    return record["state_sha"], clusters["clusters"]
+
+        sha, clusters = run(scenario())
+        assert sha == _direct_sha(small_table, tmp_path, "t1", chunks)
+        assert clusters  # non-trivial resolution happened
+
+    def test_eviction_cycles_preserve_state_sha(self, small_table, tmp_path):
+        """max_sessions=1 with alternating tenants forces evict/restore on
+        every touch; both final hashes must still match direct runs."""
+        chunks_a = _chunks(small_table, 2)
+        chunks_b = _chunks(small_table, 3)
+
+        async def scenario():
+            app = ServeApp(tmp_path / "serve", max_sessions=1)
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    await client.create_session("a", list(ATTRS))
+                    await client.create_session("b", list(ATTRS))
+                    for index in range(max(len(chunks_a), len(chunks_b))):
+                        if index < len(chunks_a):
+                            await client.ingest(
+                                "a", _rows(chunks_a[index]), _ids(chunks_a[index])
+                            )
+                        if index < len(chunks_b):
+                            await client.ingest(
+                                "b", _rows(chunks_b[index]), _ids(chunks_b[index])
+                            )
+                    sha_a = (await client.close_session("a"))["state_sha"]
+                    sha_b = (await client.close_session("b"))["state_sha"]
+            assert app.registry.evictions >= 1
+            assert app.registry.restores >= 1
+            assert app.registry.resident <= 1
+            return sha_a, sha_b
+
+        sha_a, sha_b = run(scenario())
+        assert sha_a == _direct_sha(small_table, tmp_path, "a", chunks_a)
+        assert sha_b == _direct_sha(small_table, tmp_path, "b", chunks_b)
+
+    def test_resident_sessions_stay_bounded(self, small_table, tmp_path):
+        chunk = _chunks(small_table, 6)[0]
+
+        async def scenario():
+            app = ServeApp(tmp_path / "serve", max_sessions=2)
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    for index in range(5):
+                        name = f"s{index}"
+                        await client.create_session(name, list(ATTRS))
+                        await client.ingest(name, _rows(chunk), _ids(chunk))
+                        assert app.registry.resident <= 2
+            assert app.registry.evictions >= 3
+            assert len(app.registry.known_sessions()) == 5
+
+        run(scenario())
+
+    def test_close_returns_final_state_even_when_evicted(
+        self, small_table, tmp_path
+    ):
+        chunk = _chunks(small_table, 4)[0]
+
+        async def scenario():
+            app = ServeApp(tmp_path / "serve", max_sessions=1)
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    await client.create_session("cold", list(ATTRS))
+                    await client.ingest("cold", _rows(chunk), _ids(chunk))
+                    # Touch another session so "cold" is evicted to disk.
+                    await client.create_session("warm", list(ATTRS))
+                    assert "cold" not in app.registry.resident_names()
+                    closed = await client.close_session("cold")
+                    return closed["state_sha"]
+
+        sha = run(scenario())
+        assert sha == _direct_sha(small_table, tmp_path, "cold", [chunk])
+
+
+class TestProtocolEdge:
+    async def _raw_exchange(self, port, payload: bytes) -> dict:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(payload)
+        await writer.drain()
+        line = await reader.readline()
+        writer.close()
+        return json.loads(line)
+
+    def test_unknown_version_and_op_and_bad_json(self, tmp_path):
+        async def scenario():
+            app = ServeApp(tmp_path / "serve")
+            async with ResolutionServer(app) as server:
+                future = await self._raw_exchange(
+                    server.port,
+                    encode({"v": 99, "id": 5, "op": "healthz"}),
+                )
+                unknown = await self._raw_exchange(
+                    server.port,
+                    encode({"v": PROTOCOL_VERSION, "id": 6, "op": "explode"}),
+                )
+                garbage = await self._raw_exchange(server.port, b"}{\n")
+                return future, unknown, garbage
+
+        future, unknown, garbage = run(scenario())
+        assert future["ok"] is False
+        assert future["error"] == "unsupported_version"
+        assert future["id"] == 5  # id echoed even on rejection
+        assert unknown["error"] == "unknown_op"
+        assert garbage["error"] == "bad_json"
+
+    def test_unknown_session_and_bad_name(self, tmp_path):
+        async def scenario():
+            app = ServeApp(tmp_path / "serve")
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    ghost = await client.request(
+                        "query_clusters", session="ghost"
+                    )
+                    bad = await client.request(
+                        "checkpoint", session="../escape"
+                    )
+                    return ghost, bad
+
+        ghost, bad = run(scenario())
+        assert ghost["error"] == "unknown_session"
+        assert bad["error"] == "bad_session"
+
+    def test_schema_mismatch_on_attach(self, small_table, tmp_path):
+        async def scenario():
+            app = ServeApp(tmp_path / "serve")
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    await client.create_session("s", list(ATTRS))
+                    with pytest.raises(ServeError, match="schema"):
+                        await client.create_session("s", ["just", "two"])
+
+        run(scenario())
+
+    def test_healthz_and_metrics_over_http(self, tmp_path):
+        async def scenario():
+            app = ServeApp(tmp_path / "serve")
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    await client.create_session("h", list(ATTRS))
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                health_raw = await reader.read()
+                writer.close()
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                metrics_raw = await reader.read()
+                writer.close()
+                return health_raw, metrics_raw
+
+        health_raw, metrics_raw = run(scenario())
+        head, _, body = health_raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["known_sessions"] == 1
+        metrics_text = metrics_raw.partition(b"\r\n\r\n")[2].decode()
+        assert "repro_serve_requests_total" in metrics_text
+        assert "repro_serve_sessions_resident" in metrics_text
+        assert "# TYPE repro_serve_request_seconds histogram" in metrics_text
+
+
+class TestResilience:
+    def test_client_disconnect_mid_ingest_keeps_session_consistent(
+        self, small_table, tmp_path
+    ):
+        """A vanished client must not corrupt or abandon admitted work: the
+        actor finishes the batch, and the session equals a direct run."""
+        chunk = _chunks(small_table, 3)[0]
+
+        async def scenario():
+            app = ServeApp(tmp_path / "serve")
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    await client.create_session("d", list(ATTRS))
+                # Fire the ingest and slam the connection without reading.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    encode(
+                        {
+                            "v": PROTOCOL_VERSION,
+                            "id": 1,
+                            "op": "ingest",
+                            "session": "d",
+                            "rows": _rows(chunk),
+                            "entity_ids": _ids(chunk),
+                        }
+                    )
+                )
+                await writer.drain()
+                writer.close()
+                # A fresh client's query serializes behind the orphaned
+                # ingest on the same actor queue: no sleeps needed.
+                async with AsyncServeClient(port=server.port) as client:
+                    clusters = await client.query_clusters("d")
+                    assert clusters["batches"] == 1
+                    assert clusters["records"] == len(chunk)
+                    record = await client.checkpoint("d")
+                    return record["state_sha"]
+
+        sha = run(scenario())
+        assert sha == _direct_sha(small_table, tmp_path, "d", [chunk])
+
+    def test_overload_sheds_with_retry_after_then_recovers(
+        self, small_table, tmp_path
+    ):
+        """Past the queue depth, ingests shed (priced refusals, not queue
+        collapse); honoring retry_after gets everything through, and the
+        final state matches the direct serial run of the admitted batches."""
+        chunks = _chunks(small_table, 6)
+
+        async def scenario():
+            app = ServeApp(
+                tmp_path / "serve",
+                max_sessions=2,
+                queue_depth=1,
+                crowd_latency=0.15,
+            )
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    await client.create_session("load", list(ATTRS))
+                    results = await asyncio.gather(
+                        *(
+                            client.request(
+                                "ingest",
+                                session="load",
+                                rows=_rows(chunk),
+                                entity_ids=_ids(chunk),
+                            )
+                            for chunk in chunks
+                        )
+                    )
+                    shed = [r for r in results if not r["ok"]]
+                    accepted = [r for r in results if r["ok"]]
+                    assert shed, "queue_depth=1 under a 6-deep burst must shed"
+                    for refusal in shed:
+                        assert refusal["error"] == "overloaded"
+                        assert refusal["retry_after"] > 0
+                    # Recovery: backing off per retry_after drains through.
+                    for refusal in shed:
+                        await asyncio.sleep(refusal["retry_after"])
+                    health = await client.healthz()
+                    assert health["status"] == "ok"
+                    batches = (await client.query_clusters("load"))["batches"]
+                    assert batches == len(accepted)
+
+        run(scenario())
+
+    def test_drain_sheds_and_checkpoints_every_session(
+        self, small_table, tmp_path
+    ):
+        chunk = _chunks(small_table, 4)[0]
+
+        async def scenario():
+            app = ServeApp(tmp_path / "serve", max_sessions=4)
+            async with ResolutionServer(app) as server:
+                async with AsyncServeClient(port=server.port) as client:
+                    for name in ("d1", "d2"):
+                        await client.create_session(name, list(ATTRS))
+                        await client.ingest(name, _rows(chunk), _ids(chunk))
+                    drained = await app.drain()
+                    assert {d["session"] for d in drained} == {"d1", "d2"}
+                    with pytest.raises(OverloadedError) as excinfo:
+                        await client.ingest("d1", _rows(chunk), _ids(chunk))
+                    assert excinfo.value.retry_after > 0
+                    health = await client.healthz()
+                    assert health["status"] == "draining"
+                    return drained
+
+        drained = run(scenario())
+        for record in drained:
+            # The resolver name is part of the hashed state, so each
+            # drained session gets its own same-named reference run.
+            expected = _direct_sha(
+                small_table, tmp_path, record["session"], [chunk]
+            )
+            assert record["state_sha"] == expected

@@ -34,6 +34,7 @@ class TestMutationSelfTest:
         from repro.crowd.platform import CrowdSession
         from repro.graph.coloring import ColoringState
         from repro.graph.dag import PairGraph
+        from repro.serve.sessions import SessionRegistry
         from repro.similarity.batch import TokenIndex
 
         before = (
@@ -45,6 +46,7 @@ class TestMutationSelfTest:
             PairGraph.descendant_mask,
             CrowdSession.hits,
             TokenIndex.extend,
+            SessionRegistry._restore_resolver,
         )
         run_mutation_selftest(seed=0)
         after = (
@@ -56,6 +58,7 @@ class TestMutationSelfTest:
             PairGraph.descendant_mask,
             CrowdSession.hits,
             TokenIndex.extend,
+            SessionRegistry._restore_resolver,
         )
         assert before == after
 
@@ -73,8 +76,32 @@ class TestMutationSelfTest:
         with mutant.activate():
             with pytest.raises(VerificationError, match="stream-equivalence"):
                 run_detection_battery(seed=0)
+        # The serve step is off too: it hosts the same resolver, so the
+        # stale-index corruption hits server and reference runs alike and
+        # only the stream step can see it.
         with mutant.activate():
-            run_detection_battery(seed=0, include_stream=False)
+            run_detection_battery(
+                seed=0, include_stream=False, include_serve=False
+            )
+
+    def test_serve_leak_is_caught_only_by_the_serve_step(self):
+        """Cross-session state leaks are invisible below the registry.
+
+        ``serve-cross-session-leak`` makes the registry hand a restored
+        session another live tenant's resolver — every single-session
+        check still passes, so only the serve-equivalence step (which
+        interleaves tenants through evict/restore cycles) can catch it.
+        """
+        from repro.exceptions import VerificationError
+
+        mutant = next(
+            m for m in MUTANTS if m.name == "serve-cross-session-leak"
+        )
+        with mutant.activate():
+            with pytest.raises(VerificationError, match="serve-equivalence"):
+                run_detection_battery(seed=0)
+        with mutant.activate():
+            run_detection_battery(seed=0, include_serve=False)
 
     def test_each_mutant_actually_changes_behavior(self):
         """Activating a mutant must make the pristine battery fail loudly."""
