@@ -64,6 +64,13 @@ class PowerConfig:
             automatic ``ceil(pairs / shards)`` cap).
         shard_retries: re-submissions per failed shard task before the
             executor falls back to in-process execution.
+        plan: cost-based planning of the pure-performance knobs —
+            ``"off"`` (default: static heuristics), ``"auto"`` (plan from
+            the host calibration profile when one exists, else the
+            documented default coefficients), or a path to an explicit
+            profile JSON (must load, fails loudly).  Planning never
+            changes results — see ``check_plan_transparency`` in
+            :mod:`repro.verify.oracles`.
     """
 
     similarity: str | tuple[str, ...] = "bigram"
@@ -86,6 +93,7 @@ class PowerConfig:
     shards: int | None = None
     shard_max_pairs: int | None = None
     shard_retries: int = 2
+    plan: str = "off"
 
     def __post_init__(self) -> None:
         from ..similarity.join import JOIN_METHODS
@@ -132,6 +140,11 @@ class PowerConfig:
         if self.shard_retries < 0:
             raise ConfigurationError(
                 f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if not isinstance(self.plan, str) or not self.plan:
+            raise ConfigurationError(
+                "plan must be 'off', 'auto', or a profile path, "
+                f"got {self.plan!r}"
             )
 
     def reachability_limit_bytes(self) -> int | None:

@@ -108,6 +108,45 @@ class PowerResolver:
 
     def __init__(self, config: PowerConfig | None = None) -> None:
         self.config = config or PowerConfig()
+        #: The cost-based plan behind the last planned :meth:`resolve`
+        #: (``None`` when ``config.plan == "off"`` or before any run).
+        self.last_plan = None
+
+    # ------------------------------------------------------------------ #
+    # Cost-based planning
+    # ------------------------------------------------------------------ #
+
+    #: Plannable-knob constraint for this resolver: the serial pipeline
+    #: can use any join, including the global sparse one.
+    _plan_allows_sparse = True
+
+    def _planned_clone(self, table: Table):
+        """``(resolver, plan)`` — ``(self, None)`` when planning is off.
+
+        Builds the plan from the table's measured stats and the profile
+        named by ``config.plan``, then clones this resolver with the
+        planned config (``plan="off"`` on the clone, so it never
+        re-plans).  ``apply_plan`` is resolved through the module at call
+        time on purpose: the mutation self-test patches it there.
+        """
+        if self.config.plan == "off":
+            return self, None
+        import copy
+
+        from ..plan import planner as plan_planner
+        from ..plan.calibrate import resolve_profile
+
+        profile = resolve_profile(self.config.plan)
+        plan = plan_planner.plan_for_table(
+            table,
+            self.config,
+            profile,
+            workers=getattr(self, "workers", None),
+            allow_sparse=self._plan_allows_sparse,
+        )
+        clone = copy.copy(self)
+        clone.config = plan_planner.apply_plan(self.config, plan)
+        return clone, plan
 
     # ------------------------------------------------------------------ #
     # Pipeline stages (each usable on its own)
@@ -227,6 +266,12 @@ class PowerResolver:
                 "pass either an explicit session or an engine, not both "
                 "(build the session via engine.session(...) yourself instead)"
             )
+        planned, plan = self._planned_clone(table)
+        if plan is not None:
+            result = planned.resolve(table, session, worker_band, engine)
+            self.last_plan = plan
+            result.selection.extras["plan"] = plan.to_payload()
+            return result
         obs = obs_instrument.current()
         tracer = obs.tracer
         with tracer.span(

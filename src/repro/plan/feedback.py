@@ -1,0 +1,74 @@
+"""Fold observed run costs back into the calibration profile.
+
+Micro-benchmarks are synthetic; production tables have their own token
+distributions and collision rates.  :func:`fold_observations` closes the
+loop: after a traced run, each stage's observed wall seconds nudge that
+stage's coefficients toward reality.  Updates are **bounded** — one fold
+can scale a coefficient by at most :data:`MAX_FOLD_FACTOR` and moves
+only *learning_rate* of the way there — so a single anomalous run
+(page cache cold, noisy neighbor) cannot wreck a good profile, and
+repeated folds converge geometrically instead of oscillating.
+"""
+
+from __future__ import annotations
+
+from .calibrate import CalibrationProfile
+from .explain import prediction_report
+from .planner import Plan
+
+#: The most a single fold may scale any coefficient (up or down).
+MAX_FOLD_FACTOR = 4.0
+
+#: Fraction of the (bounded) correction applied per fold.
+DEFAULT_LEARNING_RATE = 0.5
+
+
+def fold_observations(
+    profile: CalibrationProfile,
+    plan: Plan,
+    spans: list[dict],
+    learning_rate: float = DEFAULT_LEARNING_RATE,
+) -> CalibrationProfile:
+    """A new profile nudged toward the run's observed stage costs.
+
+    For every plan decision whose stage was observed in *spans*, the
+    stage's ``c0``/``c1`` are scaled by
+    ``1 + learning_rate * (clamp(observed/predicted) - 1)`` where the
+    ratio is clamped to ``[1/MAX_FOLD_FACTOR, MAX_FOLD_FACTOR]``.
+    Stages without observations keep their coefficients.  The input
+    profile is never mutated.
+    """
+    if not 0.0 < learning_rate <= 1.0:
+        from ..exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"learning_rate must be in (0, 1], got {learning_rate}"
+        )
+    coefficients = {
+        stage: dict(coeffs) for stage, coeffs in profile.coefficients.items()
+    }
+    folded_stages: list[str] = []
+    for row in prediction_report(plan, spans):
+        predicted = row["predicted_seconds"]
+        observed = row["observed_seconds"]
+        if predicted <= 1e-12 or observed <= 1e-12:
+            continue
+        ratio = observed / predicted
+        ratio = max(1.0 / MAX_FOLD_FACTOR, min(MAX_FOLD_FACTOR, ratio))
+        factor = 1.0 + learning_rate * (ratio - 1.0)
+        stage = row["stage"]
+        coefficients[stage]["c0"] *= factor
+        coefficients[stage]["c1"] *= factor
+        folded_stages.append(stage)
+    meta = dict(profile.meta)
+    meta["feedback_folds"] = int(meta.get("feedback_folds", 0)) + 1
+    meta["last_fold_stages"] = sorted(set(folded_stages))
+    return CalibrationProfile(
+        coefficients=coefficients,
+        host=profile.host,
+        calibrated=profile.calibrated,
+        meta=meta,
+    )
+
+
+__all__ = ["DEFAULT_LEARNING_RATE", "MAX_FOLD_FACTOR", "fold_observations"]

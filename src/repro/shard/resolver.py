@@ -127,6 +127,11 @@ class ShardedResolver(PowerResolver):
             workers = min(self.config.shards or limit, limit)
         self.workers = workers
 
+    #: The sharded join is tiled by record ranges
+    #: (:func:`repro.similarity.join.similar_pairs_range`), and the sparse
+    #: join has no range form — the planner must not choose it here.
+    _plan_allows_sparse = False
+
     @property
     def num_shards(self) -> int:
         """Shard work units: ``config.shards``, else one per worker."""
@@ -172,6 +177,14 @@ class ShardedResolver(PowerResolver):
                 "ShardedResolver does not drive the event engine; use "
                 "PowerResolver(engine=...) for fault-simulation runs"
             )
+        planned, plan = self._planned_clone(table)
+        if plan is not None:
+            result = planned.resolve(
+                table, session, worker_band, engine, budget, max_cents
+            )
+            self.last_plan = plan
+            result.selection.extras["plan"] = plan.to_payload()
+            return result
         if max_cents is not None:
             affordable = questions_for_cents(
                 max_cents, assignments=self.config.assignments

@@ -23,10 +23,14 @@ from .jaccard import jaccard
 from .tokenize import qgram_tokens, word_tokens
 
 #: Table size at which ``method="auto"`` switches from the quadratic scan to
-#: the prefix-filtered join.  Below this point the naive scan's lack of index
-#: bookkeeping wins (measured on the paper's Restaurant/Cora-scale tables);
-#: above it the O(n^2) candidate space dominates and prefix filtering pays.
-#: Callers can always force a method explicitly (``PowerConfig.join_method``).
+#: the prefix-filtered join — the documented **uncalibrated fallback**.
+#: Below this point the naive scan's lack of index bookkeeping wins (measured
+#: on the paper's Restaurant/Cora-scale tables); above it the O(n^2)
+#: candidate space dominates and prefix filtering pays.  When a calibrated
+#: host profile exists (``repro plan --calibrate``), ``"auto"`` asks the
+#: planner instead (:func:`repro.plan.hooks.planned_join_method`) and this
+#: constant is never consulted.  Callers can always force a method
+#: explicitly (``PowerConfig.join_method``).
 AUTO_PREFIX_CROSSOVER = 1200
 
 #: The join strategies accepted by :func:`similar_pairs`.
@@ -37,6 +41,26 @@ def _record_tokens(table: Table, use_qgrams: bool) -> list[frozenset[str]]:
     if use_qgrams:
         return [qgram_tokens(table.record_text(r.record_id)) for r in table]
     return [word_tokens(table.record_text(r.record_id)) for r in table]
+
+
+def _resolve_auto(token_sets: Sequence[frozenset[str]]) -> str:
+    """The concrete method behind ``"auto"``: calibrated when possible.
+
+    With a calibrated host profile on disk the planner prices the naive
+    scan against the prefix join for this row/token shape; otherwise the
+    static :data:`AUTO_PREFIX_CROSSOVER` row count decides.  Only the two
+    range-capable joins are candidates, so ``"auto"`` resolves identically
+    for :func:`similar_pairs` and :func:`similar_pairs_range` — the serial
+    and sharded paths always agree.
+    """
+    from ..plan import hooks as plan_hooks
+
+    rows = len(token_sets)
+    avg_tokens = sum(len(t) for t in token_sets) / max(1, rows)
+    planned = plan_hooks.planned_join_method(rows, avg_tokens)
+    if planned is not None:
+        return planned
+    return "prefix" if rows > AUTO_PREFIX_CROSSOVER else "naive"
 
 
 def similar_pairs(
@@ -64,17 +88,18 @@ def similar_pairs(
         raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
     if tokens not in ("word", "qgram"):
         raise ConfigurationError(f"tokens must be 'word' or 'qgram', got {tokens!r}")
-    if method == "auto":
-        method = "prefix" if len(table) > AUTO_PREFIX_CROSSOVER else "naive"
+    if method not in JOIN_METHODS:
+        raise ConfigurationError(f"unknown join method {method!r}")
     if len(table) < 2:  # explicit empty/singleton fast path: no allocation
-        if method not in JOIN_METHODS:
-            raise ConfigurationError(f"unknown join method {method!r}")
         return []
     obs = obs_instrument.current()
     with obs.tracer.span(
         "join.similar_pairs", method=method, records=len(table)
     ) as span:
         token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
+        if method == "auto":
+            method = _resolve_auto(token_sets)
+            span.set_attribute("method", method)
         if method == "naive":
             pairs = _naive_join(token_sets, threshold)
         elif method == "prefix":
@@ -130,15 +155,15 @@ def similar_pairs_range(
         raise ConfigurationError(
             f"range [{lo}, {hi}) escapes the {len(table)}-record table"
         )
-    if method == "auto":
-        method = "prefix" if len(table) > AUTO_PREFIX_CROSSOVER else "naive"
     if method == "sparse":
         raise ConfigurationError("the sparse join has no range-restricted form")
-    if method not in ("naive", "prefix"):
+    if method not in ("auto", "naive", "prefix"):
         raise ConfigurationError(f"unknown join method {method!r}")
     if len(table) < 2 or lo == hi:
         return []
     token_sets = _record_tokens(table, use_qgrams=(tokens == "qgram"))
+    if method == "auto":
+        method = _resolve_auto(token_sets)
     if method == "naive":
         pairs = _naive_join(token_sets, threshold, lo=lo, hi=hi)
     else:

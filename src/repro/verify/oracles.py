@@ -936,6 +936,123 @@ def check_observability_transparent_table(
 
 
 # --------------------------------------------------------------------------- #
+# Plan-transparency differential
+# --------------------------------------------------------------------------- #
+
+
+def check_plan_transparency(
+    table: Table, seed: int = 0, worker_band: str = "90"
+) -> None:
+    """Any plan — even an adversarially bad one — must be results-invisible.
+
+    The cost planner's contract is that it only rewrites pure-performance
+    knobs: a plan may make a run slower or faster, never different.  This
+    check pins that contract end to end:
+
+    1. **Production wiring.** ``PowerConfig(plan="auto")`` resolves the
+       table through the full plan → apply → clone path and must be
+       bit-identical to the static-defaults run in transcript, coloring,
+       labels, question/iteration counts, billing, matches, and clusters.
+       Non-vacuity: the planned run must actually carry its plan in
+       ``selection.extras`` (a silently skipped planner would make the
+       check meaningless).
+    2. **Adversarial plans.** Hand-built plans that deliberately pick the
+       *worst* settings (the sparse join on a tiny table, the scalar
+       similarity path, scratch selection with the reachability index
+       off, pointless shard counts) go through the same
+       :func:`repro.plan.planner.apply_plan` seam and must still be
+       bit-identical.  Speed is allowed to suffer; results are not.
+
+    ``apply_plan`` is looked up on the module at call time on purpose:
+    the ``plan-changes-results`` mutation mutant patches exactly that
+    seam (a planner that flips a semantic knob such as ``epsilon``), and
+    no other battery step runs a planned resolve — only this check can
+    catch it.
+    """
+    from ..core.config import PowerConfig
+    from ..core.resolver import PowerResolver
+    from ..plan import planner as plan_planner
+
+    baseline = PowerResolver(PowerConfig(seed=seed)).resolve(
+        table, worker_band=worker_band
+    )
+
+    def compare(label: str, result) -> None:
+        _compare_runs(label, baseline.selection, result.selection)
+        if baseline.matches != result.matches:
+            raise VerificationError(
+                f"{label}: match sets diverge: "
+                f"{len(result.matches - baseline.matches)} extra, "
+                f"{len(baseline.matches - result.matches)} missing"
+            )
+        if baseline.clusters != result.clusters:
+            raise VerificationError(
+                f"{label}: clusters diverge "
+                f"({len(result.clusters)} vs {len(baseline.clusters)})"
+            )
+
+    # Tier 1: the production plan="auto" path.
+    auto = PowerResolver(PowerConfig(seed=seed, plan="auto")).resolve(
+        table, worker_band=worker_band
+    )
+    label = f"plan-transparency[auto] table={table.name!r} seed={seed}"
+    compare(label, auto)
+    if "plan" not in auto.selection.extras:
+        raise VerificationError(
+            f"{label}: the planned run carries no plan in its extras — "
+            "the planner never ran and the transparency check would be "
+            "vacuous"
+        )
+
+    # Tier 2: adversarial plans through the apply_plan seam.
+    stats = plan_planner.TableStats.from_table(
+        table, threshold=PowerConfig().pruning_threshold, seed=seed
+    )
+    adversarial_knob_sets = (
+        {"join_method": "sparse", "use_batch_similarity": False},
+        {
+            "join_method": "naive",
+            "use_incremental_selection": False,
+            "reachability_index": "off",
+        },
+        {
+            "join_method": "prefix",
+            "use_batch_similarity": True,
+            "use_incremental_selection": True,
+            "reachability_index": "auto",
+            "shards": 3,
+        },
+    )
+    for knobs in adversarial_knob_sets:
+        plan = plan_planner.Plan(
+            stats=stats,
+            calibrated=False,
+            decisions=tuple(
+                plan_planner.PlanDecision(
+                    knob=knob,
+                    chosen=value,
+                    prediction=None,
+                    reason="adversarial transparency probe",
+                )
+                for knob, value in knobs.items()
+            ),
+        )
+        config = plan_planner.apply_plan(PowerConfig(seed=seed), plan)
+        for knob, value in knobs.items():
+            if getattr(config, knob) != value:
+                raise VerificationError(
+                    f"plan-transparency: apply_plan dropped {knob}={value!r} "
+                    "— the adversarial probe would be vacuous"
+                )
+        result = PowerResolver(config).resolve(table, worker_band=worker_band)
+        compare(
+            f"plan-transparency[{'/'.join(sorted(knobs))}] "
+            f"table={table.name!r} seed={seed}",
+            result,
+        )
+
+
+# --------------------------------------------------------------------------- #
 # Streaming-resolution differential
 # --------------------------------------------------------------------------- #
 

@@ -1,0 +1,114 @@
+"""Cost-model laws: non-negativity and monotonicity, as theorems.
+
+:class:`repro.plan.model.CostModel` clamps its coefficients to be
+non-negative at construction, which upgrades "predictions are
+non-negative and monotone in units" from an empirical observation about
+calibrated hosts to a property of *every* constructible model.  The
+hypothesis sweeps here pin that down, along with the unit formulas'
+monotonicity in each operand.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.plan.model import (
+    STAGES,
+    UNIT_FORMULAS,
+    CostModel,
+    fit_affine,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+units = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+operand = st.integers(min_value=0, max_value=5000)
+
+
+def _arity(stage: str) -> int:
+    return len(inspect.signature(UNIT_FORMULAS[stage]).parameters)
+
+
+class TestCostModelLaws:
+    @given(stage=st.sampled_from(STAGES), c0=finite, c1=finite, u=units)
+    @settings(max_examples=200, deadline=None)
+    def test_predictions_never_negative(self, stage, c0, c1, u):
+        model = CostModel(stage=stage, c0=c0, c1=c1)
+        assert model.predict(u) >= 0.0
+
+    @given(stage=st.sampled_from(STAGES), c0=finite, c1=finite, lo=units, hi=units)
+    @settings(max_examples=200, deadline=None)
+    def test_predictions_monotone_in_units(self, stage, c0, c1, lo, hi):
+        model = CostModel(stage=stage, c0=c0, c1=c1)
+        lo, hi = sorted((lo, hi))
+        assert model.predict(lo) <= model.predict(hi)
+
+    @given(stage=st.sampled_from(STAGES), c0=finite, c1=finite)
+    @settings(max_examples=100, deadline=None)
+    def test_coefficients_clamped_at_construction(self, stage, c0, c1):
+        model = CostModel(stage=stage, c0=c0, c1=c1)
+        assert model.c0 >= 0.0
+        assert model.c1 >= 0.0
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(stage="warp-drive", c0=0.0, c1=0.0)
+
+
+class TestUnitFormulas:
+    def test_every_stage_has_a_formula(self):
+        assert set(UNIT_FORMULAS) == set(STAGES)
+
+    @given(stage=st.sampled_from(STAGES), a=operand, b=operand)
+    @settings(max_examples=200, deadline=None)
+    def test_formulas_finite_and_non_negative(self, stage, a, b):
+        args = (a, b)[: _arity(stage)]
+        value = UNIT_FORMULAS[stage](*args)
+        assert math.isfinite(value)
+        assert value >= 0.0
+
+    @given(stage=st.sampled_from(STAGES), lo=operand, hi=operand, other=operand)
+    @settings(max_examples=200, deadline=None)
+    def test_formulas_monotone_in_first_operand(self, stage, lo, hi, other):
+        lo, hi = sorted((lo, hi))
+        rest = (other,)[: _arity(stage) - 1]
+        formula = UNIT_FORMULAS[stage]
+        assert formula(lo, *rest) <= formula(hi, *rest)
+
+    @given(stage=st.sampled_from(STAGES), first=operand, lo=operand, hi=operand)
+    @settings(max_examples=200, deadline=None)
+    def test_formulas_monotone_in_second_operand(self, stage, first, lo, hi):
+        if _arity(stage) < 2:
+            return
+        lo, hi = sorted((lo, hi))
+        formula = UNIT_FORMULAS[stage]
+        assert formula(first, lo) <= formula(first, hi)
+
+
+class TestFitAffine:
+    def test_two_point_fit_recovers_line(self):
+        c0, c1 = fit_affine([(0.0, 1.0), (10.0, 21.0)])
+        assert c0 == pytest.approx(1.0, abs=1e-9)
+        assert c1 == pytest.approx(2.0, abs=1e-9)
+
+    def test_negative_slope_clamped(self):
+        _, c1 = fit_affine([(0.0, 5.0), (10.0, 1.0)])
+        assert c1 == 0.0
+
+    def test_single_sample_becomes_pure_rate(self):
+        c0, c1 = fit_affine([(10.0, 2.0)])
+        assert c0 == 0.0
+        assert c1 == pytest.approx(0.2)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_affine([])

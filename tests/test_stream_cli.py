@@ -119,12 +119,20 @@ class TestStreamFailureModes:
         assert code == 2
         assert "entity_id" in err
 
-    def test_bad_batch_size_rejected(self, stream_csv, capsys):
+    def test_negative_batch_size_rejected(self, stream_csv, capsys):
         code, _, err = _run(
-            ["stream", str(stream_csv), "--batch-size", "0"], capsys
+            ["stream", str(stream_csv), "--batch-size", "-1"], capsys
         )
         assert code == 2
         assert "--batch-size" in err
+
+    def test_zero_batch_size_asks_the_planner(self, stream_csv, capsys):
+        """``--batch-size 0`` delegates sizing to the cost planner."""
+        code, out, _ = _run(
+            ["stream", str(stream_csv), "--batch-size", "0"], capsys
+        )
+        assert code == 0
+        assert "planned batch size:" in out
 
 
 class TestResumeFlow:

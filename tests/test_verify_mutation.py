@@ -103,6 +103,25 @@ class TestMutationSelfTest:
         with mutant.activate():
             run_detection_battery(seed=0, include_serve=False)
 
+    def test_plan_mutant_is_caught_only_by_the_plan_step(self):
+        """Transparency violations are invisible to every other check.
+
+        ``plan-changes-results`` makes ``apply_plan`` flip a semantic knob
+        (epsilon) alongside the performance knobs.  Every other battery
+        step runs with ``plan="off"`` and never routes through
+        ``apply_plan``, so only the plan-transparency step — which
+        compares planned runs (including adversarial plans) against the
+        static baseline bit-for-bit — can catch it.
+        """
+        from repro.exceptions import VerificationError
+
+        mutant = next(m for m in MUTANTS if m.name == "plan-changes-results")
+        with mutant.activate():
+            with pytest.raises(VerificationError, match="plan-transparency"):
+                run_detection_battery(seed=0)
+        with mutant.activate():
+            run_detection_battery(seed=0, include_plan=False)
+
     def test_each_mutant_actually_changes_behavior(self):
         """Activating a mutant must make the pristine battery fail loudly."""
         for mutant in MUTANTS:
